@@ -1,0 +1,75 @@
+// Command anonbench runs the paper-reproduction experiments (E1–E15): the
+// tables and figures of "On the Comparison of Microdata Disclosure Control
+// Algorithms" (EDBT 2009) plus the scaled algorithm-comparison studies.
+//
+// Usage:
+//
+//	anonbench -list
+//	anonbench -run E4
+//	anonbench -run all -n 5000 -ks 2,5,10,25,50 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"microdata"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiments and exit")
+		run  = flag.String("run", "all", "experiment id (E1..E15) or \"all\"")
+		n    = flag.Int("n", 1000, "synthetic census size for E14/E15")
+		ks   = flag.String("ks", "2,5,10,25,50", "comma-separated k sweep for E14/E15")
+		seed = flag.Int64("seed", 1, "seed for the census draw and stochastic algorithms")
+	)
+	flag.Parse()
+
+	kVals, err := parseKs(*ks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anonbench:", err)
+		os.Exit(2)
+	}
+	opts := microdata.ExperimentOptions{CensusN: *n, Ks: kVals, Seed: *seed}
+
+	if *list {
+		fmt.Println("Experiments (see DESIGN.md for the per-experiment index):")
+		for _, e := range microdata.Experiments(opts) {
+			fmt.Printf("  %-4s %-62s [%s]\n", e.ID, e.Title, e.Artifact)
+		}
+		return
+	}
+
+	if *run == "all" {
+		err = microdata.RunAllExperiments(os.Stdout, opts)
+	} else {
+		err = microdata.RunExperiment(os.Stdout, *run, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anonbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseKs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("invalid k %q", part)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty k sweep")
+	}
+	return out, nil
+}

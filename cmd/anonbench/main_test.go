@@ -1,0 +1,21 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseKs(t *testing.T) {
+	ks, err := parseKs("2,5,10")
+	if err != nil || len(ks) != 3 || ks[0] != 2 || ks[2] != 10 {
+		t.Fatalf("parseKs = %v, %v", ks, err)
+	}
+	ks, err = parseKs(" 3 , 7 ,")
+	if err != nil || len(ks) != 2 || ks[1] != 7 {
+		t.Fatalf("parseKs with spaces = %v, %v", ks, err)
+	}
+	for _, bad := range []string{"", ",", "a", "0", "-3", "2,x"} {
+		if _, err := parseKs(bad); err == nil {
+			t.Errorf("parseKs(%q) should fail", bad)
+		}
+	}
+}

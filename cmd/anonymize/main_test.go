@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microdata"
+)
+
+func TestRunGenerateToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "anon.csv")
+	if err := run("", 150, out, "mondrian", 5, 0.05, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tab, err := microdata.ReadCSV(f, microdata.CensusSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 150 {
+		t.Fatalf("output has %d rows, want 150", tab.Len())
+	}
+	p, err := microdata.PartitionTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if microdata.KAnonymity(p) < 5 {
+		t.Errorf("output k = %d, want >= 5", microdata.KAnonymity(p))
+	}
+}
+
+func TestRunFileToFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "census.csv")
+	orig, err := microdata.Generate(microdata.GeneratorConfig{N: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := microdata.WriteCSV(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := filepath.Join(dir, "anon.csv")
+	if err := run(in, 0, out, "datafly", 3, 0.05, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	tab, err := microdata.ReadCSV(g, microdata.CensusSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 100 {
+		t.Fatalf("output has %d rows", tab.Len())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"no input", func() error { return run("", 0, "", "mondrian", 5, 0.05, 1, false) }},
+		{"both inputs", func() error { return run("x.csv", 10, "", "mondrian", 5, 0.05, 1, false) }},
+		{"missing file", func() error { return run("/nonexistent.csv", 0, "", "mondrian", 5, 0.05, 1, false) }},
+		{"bad algorithm", func() error { return run("", 50, "", "nope", 5, 0.05, 1, false) }},
+		{"impossible k", func() error { return run("", 50, "", "mondrian", 500, 0.05, 1, false) }},
+		{"unwritable out", func() error { return run("", 50, "/nonexistent-dir/x.csv", "mondrian", 5, 0.05, 1, false) }},
+	}
+	for _, c := range cases {
+		if err := c.err(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if c.name == "bad algorithm" && !strings.Contains(err.Error(), "unknown algorithm") {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+	}
+}

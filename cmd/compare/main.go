@@ -1,0 +1,153 @@
+// Command compare evaluates two anonymizations of the same census-schema
+// table with the paper's full comparison toolkit: scalar indices, dominance
+// relations, the ▶cov/▶spr/▶rank/▶hv comparators on the privacy and
+// utility property vectors, and the WTD multi-property verdict.
+//
+// Usage:
+//
+//	compare -orig census.csv -a mondrian.csv -b datafly.csv
+//	compare -paper            # compare the paper's T_3a, T_3b and T_4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"microdata"
+)
+
+func main() {
+	var (
+		orig  = flag.String("orig", "", "original table CSV (census schema)")
+		a     = flag.String("a", "", "first anonymization CSV")
+		b     = flag.String("b", "", "second anonymization CSV")
+		paper = flag.Bool("paper", false, "compare the paper's published tables instead of files")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *orig, *a, *b, *paper); err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, origPath, aPath, bPath string, paper bool) error {
+	if paper {
+		orig := microdata.PaperT1()
+		if err := comparePair(w, "T_3a", "T_3b", orig, microdata.PaperT3a(), microdata.PaperT3b(), nil); err != nil {
+			return err
+		}
+		return comparePair(w, "T_3b", "T_4", orig, microdata.PaperT3b(), microdata.PaperT4(), nil)
+	}
+	if origPath == "" || aPath == "" || bPath == "" {
+		return fmt.Errorf("need -orig, -a and -b (or -paper)")
+	}
+	orig, err := readCensus(origPath)
+	if err != nil {
+		return err
+	}
+	ta, err := readCensus(aPath)
+	if err != nil {
+		return err
+	}
+	tb, err := readCensus(bPath)
+	if err != nil {
+		return err
+	}
+	return comparePair(w, aPath, bPath, orig, ta, tb, microdata.CensusTaxonomies())
+}
+
+func readCensus(path string) (*microdata.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return microdata.ReadCSV(f, microdata.CensusSchema())
+}
+
+func comparePair(w io.Writer, nameA, nameB string, orig, ta, tb *microdata.Table, taxonomies map[string]*microdata.Taxonomy) error {
+	if ta.Len() != orig.Len() || tb.Len() != orig.Len() {
+		return fmt.Errorf("tables must have the original's size (suppressed tuples stay as '*')")
+	}
+	pa, err := microdata.PartitionTable(ta)
+	if err != nil {
+		return err
+	}
+	pb, err := microdata.PartitionTable(tb)
+	if err != nil {
+		return err
+	}
+	privA := microdata.PropertyVector(microdata.ClassSizeVector(pa))
+	privB := microdata.PropertyVector(microdata.ClassSizeVector(pb))
+	lossCfg := microdata.LossConfig{Taxonomies: taxonomies}
+	utilA, err := microdata.UtilityVector(ta, orig, lossCfg)
+	if err != nil {
+		return err
+	}
+	utilB, err := microdata.UtilityVector(tb, orig, lossCfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "=== %s vs %s ===\n", nameA, nameB)
+	fmt.Fprintf(w, "scalar view: k(%s)=%d k(%s)=%d\n", nameA, microdata.KAnonymity(pa), nameB, microdata.KAnonymity(pb))
+
+	rel, err := microdata.CompareVectors(privA, privB)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dominance (privacy vectors): %v\n", rel)
+
+	n := orig.Len()
+	dmax := make(microdata.PropertyVector, n)
+	for i := range dmax {
+		dmax[i] = float64(n)
+	}
+	comparators := []microdata.Comparator{
+		microdata.MinBetter(),
+		microdata.CovBetter(),
+		microdata.SprBetter(),
+		microdata.RankComparator{Dmax: dmax},
+		microdata.HvLogBetter(),
+	}
+	for _, c := range comparators {
+		out, err := c.Compare(privA, privB)
+		if err != nil {
+			fmt.Fprintf(w, "privacy %-6s error: %v\n", c.Name(), err)
+			continue
+		}
+		fmt.Fprintf(w, "privacy %-6s %s\n", c.Name()+":", side(out, nameA, nameB))
+	}
+	covU, err := microdata.CovBetter().Compare(microdata.PropertyVector(utilA), microdata.PropertyVector(utilB))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "utility cov:    %s\n", side(covU, nameA, nameB))
+
+	wtd, err := microdata.NewWTD([]float64{0.5, 0.5}, []microdata.BinaryIndex{microdata.PCov, microdata.PCov})
+	if err != nil {
+		return err
+	}
+	verdict, err := wtd.Compare(
+		microdata.PropertySet{privA, utilA},
+		microdata.PropertySet{privB, utilB},
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "WTD (privacy+utility, equal weights): %s\n\n", side(verdict, nameA, nameB))
+	return nil
+}
+
+func side(o microdata.Outcome, a, b string) string {
+	switch o {
+	case microdata.LeftBetter:
+		return a
+	case microdata.RightBetter:
+		return b
+	default:
+		return "tie"
+	}
+}

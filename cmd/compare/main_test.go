@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"microdata"
+)
+
+func TestRunPaperMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", "", "", true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"T_3a vs T_3b",
+		"k(T_3a)=3 k(T_3b)=3",
+		"right strongly dominates",
+		"T_3b vs T_4",
+		"incomparable",
+		"WTD",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFileMode(t *testing.T) {
+	dir := t.TempDir()
+	orig, err := microdata.Generate(microdata.GeneratorConfig{N: 120, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, tab *microdata.Table) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := microdata.WriteCSV(f, tab); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cfg := microdata.AlgorithmConfig{
+		K: 4, Hierarchies: microdata.CensusHierarchies(),
+		Taxonomies: microdata.CensusTaxonomies(), MaxSuppression: 0.05,
+	}
+	anonA, err := mustAlg(t, "mondrian").Anonymize(orig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anonB, err := mustAlg(t, "datafly").Anonymize(orig, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origPath := write("orig.csv", orig)
+	aPath := write("a.csv", anonA.Table)
+	bPath := write("b.csv", anonB.Table)
+
+	var buf bytes.Buffer
+	if err := run(&buf, origPath, aPath, bPath, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dominance", "privacy cov", "utility cov", "WTD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func mustAlg(t *testing.T, name string) microdata.Algorithm {
+	t.Helper()
+	alg, err := microdata.NewAlgorithm(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alg
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", "", "", false); err == nil {
+		t.Error("missing paths should fail")
+	}
+	if err := run(&buf, "/nonexistent", "/nonexistent", "/nonexistent", false); err == nil {
+		t.Error("unreadable files should fail")
+	}
+}
+
+func TestSide(t *testing.T) {
+	if side(microdata.LeftBetter, "a", "b") != "a" ||
+		side(microdata.RightBetter, "a", "b") != "b" ||
+		side(microdata.Tie, "a", "b") != "tie" {
+		t.Error("side mapping wrong")
+	}
+}

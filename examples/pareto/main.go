@@ -1,0 +1,63 @@
+// Pareto demonstrates the paper's §7 proposal: handle privacy as an
+// objective derived from the per-tuple property vector instead of a scalar
+// constraint, and present the decision maker with the whole privacy/utility
+// Pareto front at once.
+//
+//	go run ./examples/pareto [-n 800]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"microdata"
+)
+
+func main() {
+	n := flag.Int("n", 800, "census size")
+	flag.Parse()
+
+	tab, err := microdata.Generate(microdata.GeneratorConfig{N: *n, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := microdata.AlgorithmConfig{
+		K:           1, // ignored: privacy is an objective here
+		Hierarchies: microdata.CensusHierarchies(),
+		Taxonomies:  microdata.CensusTaxonomies(),
+		Seed:        7,
+	}
+
+	truth, err := microdata.ExhaustiveParetoFront(tab, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nsga, err := (&microdata.NSGA2{}).Explore(tab, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("census N=%d — privacy/utility Pareto front (exact, %d lattice nodes evaluated)\n\n",
+		*n, truth.Evaluations)
+	fmt.Printf("%-14s %12s %10s %8s\n", "node", "privacyRank", "LM loss", "k_act")
+	maxRank := truth.Points[0].Obj.PrivacyRank
+	for _, p := range truth.Points {
+		if p.Obj.PrivacyRank > maxRank {
+			maxRank = p.Obj.PrivacyRank
+		}
+	}
+	for _, p := range truth.Points {
+		bar := ""
+		if maxRank > 0 {
+			bar = strings.Repeat("#", 1+int(30*p.Obj.PrivacyRank/maxRank))
+		}
+		fmt.Printf("%-14v %12.1f %10.4f %8d  %s\n", p.Node, p.Obj.PrivacyRank, p.Obj.Loss, p.KActual, bar)
+	}
+	fmt.Printf("\nNSGA-II found %d front points with %d evaluations (coverage of exact front: %.2f)\n",
+		len(nsga.Points), nsga.Evaluations, microdata.ParetoCoverage(nsga, truth))
+	fmt.Println("\nEach row is a defensible compromise: the emergent k ranges from 1")
+	fmt.Println("(identity, zero loss) to N (everything in one class). A scalar-k")
+	fmt.Println("pipeline shows exactly one of these rows and hides the rest.")
+}

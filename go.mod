@@ -1,0 +1,3 @@
+module microdata
+
+go 1.22

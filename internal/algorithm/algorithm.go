@@ -1,0 +1,430 @@
+// Package algorithm defines the common contract for the disclosure control
+// algorithms rebuilt for this reproduction (the paper's §6 survey): a
+// shared Config, a Result carrying the anonymized table plus everything the
+// comparison framework needs, and helpers for the global-recoding
+// generalize-then-suppress workflow every lattice-based algorithm shares.
+package algorithm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"microdata/internal/dataset"
+	"microdata/internal/eqclass"
+	"microdata/internal/hierarchy"
+	"microdata/internal/lattice"
+	"microdata/internal/privacy"
+	"microdata/internal/utility"
+)
+
+// Metric selects the utility objective a search-based algorithm optimizes.
+type Metric uint8
+
+const (
+	// MetricLM is Iyengar's general loss metric (lower is better).
+	MetricLM Metric = iota
+	// MetricDM is the discernibility metric (lower is better).
+	MetricDM
+	// MetricPrec is Samarati's precision (higher is better); callers
+	// receive it negated so that every metric is minimized uniformly.
+	MetricPrec
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetricLM:
+		return "LM"
+	case MetricDM:
+		return "DM"
+	case MetricPrec:
+		return "Prec"
+	default:
+		return fmt.Sprintf("Metric(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes an anonymization run.
+type Config struct {
+	// K is the k-anonymity requirement; must be >= 1.
+	K int
+	// Hierarchies supplies the generalization ladder per quasi-identifier.
+	Hierarchies hierarchy.Set
+	// MaxSuppression is the fraction of rows (0..1) the algorithm may
+	// suppress to rescue small equivalence classes.
+	MaxSuppression float64
+	// Metric is the utility objective for algorithms that search.
+	Metric Metric
+	// Taxonomies feeds loss computation for Set-generalized columns.
+	Taxonomies map[string]*hierarchy.Taxonomy
+	// Seed drives stochastic algorithms (the genetic algorithm).
+	Seed int64
+	// MinLDiversity, when > 0, additionally requires every retained
+	// equivalence class to hold at least this many DISTINCT sensitive
+	// values (p-sensitive / distinct ℓ-diversity as a second property —
+	// the multi-property optimization the paper's §4 notes is rare).
+	// Requires a sensitive attribute in the schema.
+	MinLDiversity int
+	// MaxTCloseness, when > 0, additionally bounds every retained
+	// class's earth-mover distance (equal-distance ground metric) from
+	// the table's global sensitive distribution. Requires a sensitive
+	// attribute in the schema.
+	MaxTCloseness float64
+	// MinEntropyL, when > 0, additionally requires every retained class
+	// to be entropy ℓ-diverse at this level: exp(H(class sensitive
+	// distribution)) >= MinEntropyL (Machanavajjhala et al.). Requires a
+	// sensitive attribute in the schema.
+	MinEntropyL float64
+	// RecursiveC and RecursiveL, when both > 0, additionally require
+	// every retained class to be recursive (c,ℓ)-diverse: with sensitive
+	// frequencies r_1 >= ... >= r_m, r_1 < c·(r_ℓ + ... + r_m)
+	// (Machanavajjhala et al.). Requires a sensitive attribute.
+	RecursiveC float64
+	RecursiveL int
+}
+
+// hasDiversityConstraints reports whether any secondary privacy property
+// is requested.
+func (c Config) hasDiversityConstraints() bool {
+	return c.MinLDiversity > 0 || c.MaxTCloseness > 0 || c.MinEntropyL > 0 ||
+		(c.RecursiveC > 0 && c.RecursiveL > 0)
+}
+
+// Validate rejects unusable configurations for the given table.
+func (c Config) Validate(t *dataset.Table) error {
+	if t == nil || t.Len() == 0 {
+		return fmt.Errorf("algorithm: empty table")
+	}
+	if c.K < 1 {
+		return fmt.Errorf("algorithm: k must be >= 1, got %d", c.K)
+	}
+	if c.K > t.Len() {
+		return fmt.Errorf("algorithm: k=%d exceeds table size %d", c.K, t.Len())
+	}
+	if c.MaxSuppression < 0 || c.MaxSuppression > 1 || math.IsNaN(c.MaxSuppression) {
+		return fmt.Errorf("algorithm: max suppression %v outside [0,1]", c.MaxSuppression)
+	}
+	if c.Hierarchies == nil {
+		return fmt.Errorf("algorithm: no hierarchies configured")
+	}
+	if c.MinLDiversity < 0 {
+		return fmt.Errorf("algorithm: negative ℓ-diversity requirement %d", c.MinLDiversity)
+	}
+	if c.MaxTCloseness < 0 || c.MaxTCloseness > 1 || math.IsNaN(c.MaxTCloseness) {
+		return fmt.Errorf("algorithm: t-closeness bound %v outside [0,1]", c.MaxTCloseness)
+	}
+	if c.MinEntropyL < 0 || math.IsNaN(c.MinEntropyL) || math.IsInf(c.MinEntropyL, 0) {
+		return fmt.Errorf("algorithm: entropy ℓ requirement %v is not a non-negative finite number", c.MinEntropyL)
+	}
+	if c.RecursiveC < 0 || math.IsNaN(c.RecursiveC) || math.IsInf(c.RecursiveC, 0) {
+		return fmt.Errorf("algorithm: recursive c %v is not a non-negative finite number", c.RecursiveC)
+	}
+	if c.RecursiveL < 0 {
+		return fmt.Errorf("algorithm: negative recursive ℓ %d", c.RecursiveL)
+	}
+	if (c.RecursiveC > 0) != (c.RecursiveL > 0) {
+		return fmt.Errorf("algorithm: recursive (c,ℓ)-diversity needs both c and ℓ set")
+	}
+	if c.hasDiversityConstraints() && t.Schema.SensitiveIndex() < 0 {
+		return fmt.Errorf("algorithm: diversity constraints need a sensitive attribute")
+	}
+	return c.Hierarchies.CoverQI(t.Schema)
+}
+
+// Result is the outcome of an anonymization run.
+type Result struct {
+	// Algorithm names the producing algorithm.
+	Algorithm string
+	// Table is the anonymized data set — same size as the original, with
+	// suppressed tuples kept in fully generalized form (paper §3).
+	Table *dataset.Table
+	// Partition is the equivalence-class partition of Table.
+	Partition *eqclass.Partition
+	// Levels is the lattice node used, for global-recoding algorithms;
+	// nil for local recoding (Mondrian).
+	Levels lattice.Node
+	// Suppressed lists the rows whose quasi-identifiers were suppressed.
+	Suppressed []int
+	// Stats carries algorithm-specific counters (nodes explored,
+	// generations run, ...).
+	Stats map[string]float64
+}
+
+// Algorithm is a microdata disclosure control algorithm.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Anonymize produces a k-anonymous (within cfg's suppression budget)
+	// version of the table. The input table is never modified.
+	Anonymize(t *dataset.Table, cfg Config) (*Result, error)
+}
+
+// isStarClass reports whether the class's quasi-identifiers are fully
+// suppressed (the paper-§3 unlinkable class).
+func isStarClass(t *dataset.Table, rows []int, qi []int) bool {
+	for _, j := range qi {
+		if !t.At(rows[0], j).IsSuppressed() {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiesK reports whether the partition is k-anonymous when suppressed
+// rows are granted the paper's convention: the all-star class they form is
+// unlinkable and therefore exempt from the minimum-size requirement (an
+// empty suppressed set leaves plain k-anonymity).
+func SatisfiesK(p *eqclass.Partition, t *dataset.Table, k int) bool {
+	if p.N() == 0 {
+		return false
+	}
+	qi := t.Schema.QuasiIdentifiers()
+	for _, rows := range p.Classes {
+		if len(rows) >= k {
+			continue
+		}
+		if !isStarClass(t, rows, qi) {
+			return false
+		}
+	}
+	return true
+}
+
+// SatisfiesConstraints reports whether the partition meets the k
+// requirement and every configured secondary privacy property, with the
+// all-star class exempt.
+func SatisfiesConstraints(p *eqclass.Partition, t *dataset.Table, cfg Config) (bool, error) {
+	if !SatisfiesK(p, t, cfg.K) {
+		return false, nil
+	}
+	if !cfg.hasDiversityConstraints() {
+		return true, nil
+	}
+	bad, err := violatingClasses(p, t, cfg)
+	if err != nil {
+		return false, err
+	}
+	qi := t.Schema.QuasiIdentifiers()
+	for ci := range bad {
+		if bad[ci] && !isStarClass(t, p.Classes[ci], qi) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// violatingClasses marks, per class, whether any constraint (k, ℓ, t)
+// fails. The star-class exemption is NOT applied here; callers decide.
+func violatingClasses(p *eqclass.Partition, t *dataset.Table, cfg Config) ([]bool, error) {
+	bad := make([]bool, p.NumClasses())
+	for ci, rows := range p.Classes {
+		if len(rows) < cfg.K {
+			bad[ci] = true
+		}
+	}
+	if !cfg.hasDiversityConstraints() {
+		return bad, nil
+	}
+	si := t.Schema.SensitiveIndex()
+	if si < 0 {
+		return nil, fmt.Errorf("algorithm: diversity constraints need a sensitive attribute")
+	}
+	sensitive := t.Column(si)
+	if cfg.MinLDiversity > 0 {
+		counts, err := p.ValueCounts(sensitive)
+		if err != nil {
+			return nil, err
+		}
+		for ci := range counts {
+			if len(counts[ci]) < cfg.MinLDiversity {
+				bad[ci] = true
+			}
+		}
+	}
+	if cfg.MaxTCloseness > 0 {
+		tvec, err := privacy.TClosenessVector(p, sensitive, false)
+		if err != nil {
+			return nil, err
+		}
+		for ci, rows := range p.Classes {
+			if tvec[rows[0]] > cfg.MaxTCloseness+1e-12 {
+				bad[ci] = true
+			}
+		}
+	}
+	if cfg.MinEntropyL > 0 {
+		counts, err := p.ValueCounts(sensitive)
+		if err != nil {
+			return nil, err
+		}
+		for ci := range counts {
+			if classEntropyL(counts[ci]) < cfg.MinEntropyL-1e-12 {
+				bad[ci] = true
+			}
+		}
+	}
+	if cfg.RecursiveC > 0 && cfg.RecursiveL > 0 {
+		counts, err := p.ValueCounts(sensitive)
+		if err != nil {
+			return nil, err
+		}
+		for ci := range counts {
+			if !classRecursiveCL(counts[ci], cfg.RecursiveC, cfg.RecursiveL) {
+				bad[ci] = true
+			}
+		}
+	}
+	return bad, nil
+}
+
+// classRecursiveCL checks recursive (c,ℓ)-diversity for one class's
+// sensitive value counts.
+func classRecursiveCL(counts map[string]int, c float64, l int) bool {
+	freqs := make([]int, 0, len(counts))
+	for _, f := range counts {
+		freqs = append(freqs, f)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	if l > len(freqs) {
+		return false
+	}
+	tail := 0
+	for _, f := range freqs[l-1:] {
+		tail += f
+	}
+	return float64(freqs[0]) < c*float64(tail)
+}
+
+// classEntropyL is exp of the Shannon entropy of one class's sensitive
+// value counts — the ℓ of entropy ℓ-diversity for that class.
+func classEntropyL(counts map[string]int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		q := float64(c) / float64(total)
+		h -= q * math.Log(q)
+	}
+	return math.Exp(h)
+}
+
+// ApplyNode generalizes the table to the lattice node and reports which
+// rows sit in classes violating the configured constraints (undersized for
+// k, or short of the ℓ-diversity / t-closeness requirements). It is the
+// evaluation primitive shared by the lattice-searching algorithms.
+func ApplyNode(t *dataset.Table, cfg Config, node lattice.Node) (*dataset.Table, *eqclass.Partition, []int, error) {
+	anon, err := hierarchy.GeneralizeTable(t, cfg.Hierarchies, node)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	p, err := eqclass.FromTable(anon)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bad, err := violatingClasses(p, anon, cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var small []int
+	for ci, rows := range p.Classes {
+		if bad[ci] {
+			small = append(small, rows...)
+		}
+	}
+	sort.Ints(small)
+	return anon, p, small, nil
+}
+
+// FinishGlobal completes a global-recoding run at the chosen node:
+// generalize, suppress the undersized classes if the budget allows, and
+// package the Result. It fails when the node needs more suppression than
+// cfg.MaxSuppression permits.
+func FinishGlobal(name string, t *dataset.Table, cfg Config, node lattice.Node, stats map[string]float64) (*Result, error) {
+	anon, p, small, err := ApplyNode(t, cfg, node)
+	if err != nil {
+		return nil, err
+	}
+	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	if len(small) > budget {
+		return nil, fmt.Errorf("algorithm: node %v needs %d suppressions, budget is %d", node, len(small), budget)
+	}
+	if len(small) > 0 {
+		hierarchy.SuppressRows(anon, small)
+		p, err = eqclass.FromTable(anon)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := SatisfiesConstraints(p, anon, cfg); err != nil {
+		return nil, err
+	} else if !ok {
+		return nil, fmt.Errorf("algorithm: node %v does not satisfy the privacy constraints after suppression", node)
+	}
+	if stats == nil {
+		stats = map[string]float64{}
+	}
+	stats["suppressed"] = float64(len(small))
+	return &Result{
+		Algorithm:  name,
+		Table:      anon,
+		Partition:  p,
+		Levels:     node.Clone(),
+		Suppressed: small,
+		Stats:      stats,
+	}, nil
+}
+
+// NodeCost scores a lattice node under the configured metric; lower is
+// better for every metric (precision is negated). Nodes that exceed the
+// suppression budget return +Inf.
+func NodeCost(t *dataset.Table, cfg Config, node lattice.Node) (float64, error) {
+	anon, p, small, err := ApplyNode(t, cfg, node)
+	if err != nil {
+		return 0, err
+	}
+	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	if len(small) > budget {
+		return math.Inf(1), nil
+	}
+	if len(small) > 0 {
+		hierarchy.SuppressRows(anon, small)
+		p, err = eqclass.FromTable(anon)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return cost(anon, t, p, cfg, node)
+}
+
+func cost(anon, orig *dataset.Table, p *eqclass.Partition, cfg Config, node lattice.Node) (float64, error) {
+	switch cfg.Metric {
+	case MetricLM:
+		return utility.GeneralLossMetric(anon, orig, utility.LossConfig{Taxonomies: cfg.Taxonomies})
+	case MetricDM:
+		return utility.DiscernibilityMetric(p), nil
+	case MetricPrec:
+		if node == nil {
+			// Local recodings have no lattice node; fall back to LM.
+			return utility.GeneralLossMetric(anon, orig, utility.LossConfig{Taxonomies: cfg.Taxonomies})
+		}
+		prec, err := utility.Precision(orig.Schema, cfg.Hierarchies, node)
+		if err != nil {
+			return 0, err
+		}
+		return -prec, nil
+	default:
+		return 0, fmt.Errorf("algorithm: unknown metric %v", cfg.Metric)
+	}
+}
+
+// ResultCost scores a finished Result under the configured metric, for
+// cross-algorithm tables.
+func ResultCost(r *Result, orig *dataset.Table, cfg Config) (float64, error) {
+	return cost(r.Table, orig, r.Partition, cfg, r.Levels)
+}

@@ -1,0 +1,131 @@
+// Package bottomup implements a bottom-up generalization anonymizer in the
+// spirit of Wang, Yu & Chakraborty (paper §6): start from the raw table
+// and repeatedly apply the single-attribute generalization with the best
+// benefit/cost ratio — privacy gained (violating tuples rescued) per unit
+// of information lost — until the privacy constraints hold within the
+// suppression budget.
+//
+// The scoring rule is what distinguishes it from Datafly (which generalizes
+// the attribute with the most distinct values regardless of cost) and from
+// top-down specialization (which walks the lattice in the opposite
+// direction): bottom-up climbs are guided by the marginal trade-off, so it
+// often lands on cheaper nodes than Datafly at equal k.
+package bottomup
+
+import (
+	"fmt"
+	"math"
+
+	"microdata/internal/algorithm"
+	"microdata/internal/dataset"
+	"microdata/internal/lattice"
+)
+
+// BottomUp is the benefit/cost-guided climbing anonymizer.
+type BottomUp struct{}
+
+// New returns a BottomUp instance.
+func New() *BottomUp { return &BottomUp{} }
+
+// Name implements algorithm.Algorithm.
+func (*BottomUp) Name() string { return "bottomup" }
+
+// Anonymize implements algorithm.Algorithm.
+func (bu *BottomUp) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	if err := cfg.Validate(t); err != nil {
+		return nil, fmt.Errorf("bottomup: %w", err)
+	}
+	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("bottomup: %w", err)
+	}
+	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	node := make(lattice.Node, len(maxLevels))
+
+	// probe evaluates a node, returning its violating rows, its anonymity
+	// deficit (the total number of missing tuples across undersized
+	// classes — Wang et al.'s "privacy gain" is the reduction of this),
+	// and its per-level loss sum (the "information loss" side; cheaper to
+	// compute than the full metric and monotone in it for every ladder).
+	probe := func(n lattice.Node) (small []int, deficit int, err error) {
+		_, p, small, err := algorithm.ApplyNode(t, cfg, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, rows := range p.Classes {
+			if len(rows) < cfg.K {
+				deficit += cfg.K - len(rows)
+			}
+		}
+		return small, deficit, nil
+	}
+	lossOf := func(n lattice.Node) (float64, error) {
+		qi := t.Schema.QuasiIdentifiers()
+		total := 0.0
+		for li, j := range qi {
+			h := cfg.Hierarchies[t.Schema.Attrs[j].Name]
+			// Representative loss: generalizing the first row's value.
+			l, err := h.Loss(t.At(0, j), n[li])
+			if err != nil {
+				return 0, err
+			}
+			total += l
+		}
+		return total, nil
+	}
+
+	small, deficit, err := probe(node)
+	if err != nil {
+		return nil, fmt.Errorf("bottomup: %w", err)
+	}
+	loss, err := lossOf(node)
+	if err != nil {
+		return nil, fmt.Errorf("bottomup: %w", err)
+	}
+	steps := 0
+	for len(small) > budget {
+		// Score each one-level climb by privacy gain (deficit reduction
+		// plus violating-row reduction) per unit of information lost.
+		bestIdx := -1
+		bestScore := math.Inf(-1)
+		var bestSmall []int
+		bestDeficit := 0
+		bestLoss := 0.0
+		for i := range node {
+			if node[i] >= maxLevels[i] {
+				continue
+			}
+			node[i]++
+			s, d, err := probe(node)
+			if err != nil {
+				node[i]--
+				return nil, fmt.Errorf("bottomup: %w", err)
+			}
+			l, err := lossOf(node)
+			if err != nil {
+				node[i]--
+				return nil, fmt.Errorf("bottomup: %w", err)
+			}
+			gain := float64(deficit-d) + float64(len(small)-len(s))
+			dl := l - loss
+			if dl <= 0 {
+				dl = 1e-9
+			}
+			score := gain / dl
+			if score > bestScore {
+				bestIdx, bestScore = i, score
+				bestSmall, bestDeficit, bestLoss = s, d, l
+			}
+			node[i]--
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("bottomup: constraints unreachable at full generalization with suppression budget %d", budget)
+		}
+		node[bestIdx]++
+		small, deficit, loss = bestSmall, bestDeficit, bestLoss
+		steps++
+	}
+	return algorithm.FinishGlobal(bu.Name(), t, cfg, node, map[string]float64{
+		"generalization_steps": float64(steps),
+	})
+}

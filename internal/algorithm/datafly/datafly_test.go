@@ -1,0 +1,85 @@
+package datafly
+
+import (
+	"testing"
+
+	"microdata/internal/algorithm/algtest"
+)
+
+func TestDataflyOnPaperTable(t *testing.T) {
+	tab, cfg := algtest.PaperConfig(3)
+	r, err := New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algtest.CheckResult(t, tab, cfg, r)
+	algtest.KIsAchieved(t, r, 3)
+	if r.Levels == nil {
+		t.Error("datafly is global recoding; Levels must be set")
+	}
+	if r.Stats["generalization_steps"] < 1 {
+		t.Error("T1 is not 3-anonymous raw; at least one step expected")
+	}
+}
+
+func TestDataflyAllKsOnPaperTable(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 5, 10} {
+		tab, cfg := algtest.PaperConfig(k)
+		r, err := New().Anonymize(tab, cfg)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		algtest.CheckResult(t, tab, cfg, r)
+	}
+}
+
+func TestDataflyOnCensus(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(400, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algtest.CheckResult(t, tab, cfg, r)
+	algtest.CheckDeterminism(t, New(), tab, cfg)
+}
+
+func TestDataflyWithSuppressionBudget(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(300, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxSuppression = 0.1
+	r, err := New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algtest.CheckResult(t, tab, cfg, r)
+	// A tighter budget cannot produce a less generalized node.
+	cfg.MaxSuppression = 0
+	r0, err := New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Levels.Height() < r.Levels.Height() {
+		t.Errorf("zero-budget run found lower node %v than budgeted run %v", r0.Levels, r.Levels)
+	}
+}
+
+func TestDataflyFailures(t *testing.T) {
+	algtest.CheckCommonFailures(t, New())
+}
+
+func TestDataflyIdentityWhenAlreadyAnonymous(t *testing.T) {
+	tab, cfg := algtest.PaperConfig(1)
+	r, err := New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every table is 1-anonymous: no generalization needed.
+	if r.Levels.Height() != 0 {
+		t.Errorf("k=1 should keep the bottom node, got %v", r.Levels)
+	}
+}

@@ -1,0 +1,51 @@
+package genetic
+
+import (
+	"testing"
+
+	"microdata/internal/algorithm/algtest"
+	"microdata/internal/privacy"
+)
+
+func TestGeneticWithLDiversityConstraint(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(250, 4, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MinLDiversity = 2
+	r, err := New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algtest.CheckResult(t, tab, cfg, r)
+	if len(r.Suppressed) == 0 {
+		col := tab.Column(tab.Schema.SensitiveIndex())
+		ok, err := privacy.IsDistinctLDiverse(r.Partition, col, 2)
+		if err != nil || !ok {
+			t.Fatalf("result not 2-diverse: %v, %v", ok, err)
+		}
+	}
+}
+
+func TestGeneticWithTClosenessConstraint(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(250, 4, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxTCloseness = 0.4
+	r, err := New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algtest.CheckResult(t, tab, cfg, r)
+	if len(r.Suppressed) == 0 {
+		col := tab.Column(tab.Schema.SensitiveIndex())
+		got, err := privacy.TCloseness(r.Partition, col, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > 0.4+1e-9 {
+			t.Errorf("t-closeness %v exceeds 0.4", got)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package incognito implements an Incognito-style full-domain search (paper
+// §6, LeFevre et al.): a bottom-up breadth-first sweep of the
+// generalization lattice that exploits generalization monotonicity — once a
+// node satisfies k-anonymity, all of its generalizations do — to prune, and
+// returns the set of MINIMAL satisfying nodes, finishing with the one the
+// configured utility metric prefers.
+//
+// Simplification vs. the published algorithm: Incognito derives its pruning
+// from subset-of-quasi-identifier iterations; this implementation prunes
+// directly on the full-QI lattice, which yields the same set of minimal
+// full-domain k-anonymous nodes. Note that monotonicity assumes nested
+// generalization ladders; non-nested ladders (the paper's own T3b/T4 age
+// anchors!) may cause the sweep to label a node minimal that is not — the
+// final result is still a valid k-anonymization because every returned node
+// is verified directly.
+package incognito
+
+import (
+	"fmt"
+
+	"microdata/internal/algorithm"
+	"microdata/internal/dataset"
+	"microdata/internal/lattice"
+)
+
+// Incognito is the pruned full-domain lattice sweep.
+type Incognito struct{}
+
+// New returns an Incognito instance.
+func New() *Incognito { return &Incognito{} }
+
+// Name implements algorithm.Algorithm.
+func (*Incognito) Name() string { return "incognito" }
+
+// MinimalNodes sweeps the lattice bottom-up and returns every minimal node
+// that satisfies k within the suppression budget, plus the number of nodes
+// actually evaluated (pruned nodes are free).
+func (in *Incognito) MinimalNodes(t *dataset.Table, cfg algorithm.Config) ([]lattice.Node, int, error) {
+	if err := cfg.Validate(t); err != nil {
+		return nil, 0, fmt.Errorf("incognito: %w", err)
+	}
+	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	if err != nil {
+		return nil, 0, fmt.Errorf("incognito: %w", err)
+	}
+	lat, err := lattice.New(maxLevels)
+	if err != nil {
+		return nil, 0, fmt.Errorf("incognito: %w", err)
+	}
+	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	satisfying := map[string]bool{} // nodes known to satisfy
+	var minimal []lattice.Node
+	evaluated := 0
+	for h := 0; h <= lat.Height(); h++ {
+		for _, n := range lat.AtHeight(h) {
+			// If any predecessor satisfies, n satisfies by monotonicity
+			// and is not minimal: propagate without evaluating.
+			inherited := false
+			for _, p := range lat.Predecessors(n) {
+				if satisfying[p.Key()] {
+					inherited = true
+					break
+				}
+			}
+			if inherited {
+				satisfying[n.Key()] = true
+				continue
+			}
+			evaluated++
+			_, _, small, err := algorithm.ApplyNode(t, cfg, n)
+			if err != nil {
+				return nil, evaluated, fmt.Errorf("incognito: %w", err)
+			}
+			if len(small) <= budget {
+				satisfying[n.Key()] = true
+				minimal = append(minimal, n.Clone())
+			}
+		}
+	}
+	return minimal, evaluated, nil
+}
+
+// Anonymize implements algorithm.Algorithm: among the minimal satisfying
+// nodes, finish with the best one under the configured metric.
+func (in *Incognito) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	minimal, evaluated, err := in.MinimalNodes(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(minimal) == 0 {
+		return nil, fmt.Errorf("incognito: no generalization satisfies %d-anonymity within the suppression budget", cfg.K)
+	}
+	var best lattice.Node
+	bestCost := 0.0
+	for _, n := range minimal {
+		c, err := algorithm.NodeCost(t, cfg, n)
+		if err != nil {
+			return nil, fmt.Errorf("incognito: %w", err)
+		}
+		if best == nil || c < bestCost {
+			best, bestCost = n, c
+		}
+	}
+	return algorithm.FinishGlobal(in.Name(), t, cfg, best, map[string]float64{
+		"nodes_evaluated": float64(evaluated),
+		"minimal_nodes":   float64(len(minimal)),
+	})
+}

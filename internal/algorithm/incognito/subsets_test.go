@@ -1,0 +1,121 @@
+package incognito
+
+import (
+	"testing"
+
+	"microdata/internal/algorithm"
+	"microdata/internal/algorithm/algtest"
+	"microdata/internal/lattice"
+)
+
+func TestSubsetsOf(t *testing.T) {
+	got := subsetsOf(4, 2)
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("subsetsOf(4,2) = %v", got)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("subsetsOf(4,2) = %v", got)
+			}
+		}
+	}
+	if got := subsetsOf(3, 3); len(got) != 1 || len(got[0]) != 3 {
+		t.Errorf("subsetsOf(3,3) = %v", got)
+	}
+}
+
+// The published two-phase sweep and the direct lattice sweep must identify
+// the same set of full-domain k-anonymous nodes.
+func TestSubsetSweepAgreesWithDirect(t *testing.T) {
+	for _, seed := range []int64{71, 72} {
+		tab, cfg, err := algtest.CensusConfig(200, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.MaxSuppression = 0
+		// Ground truth: brute-force every node.
+		ml, err := cfg.Hierarchies.MaxLevels(tab.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := map[string]bool{}
+		lattice.Must(ml).All(func(n lattice.Node) bool {
+			_, _, small, err := algorithm.ApplyNode(tab, cfg, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(small) == 0 {
+				truth[n.Key()] = true
+			}
+			return true
+		})
+		// Subset sweep.
+		nodes, evaluated, err := New().SubsetSweep(tab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) != len(truth) {
+			t.Fatalf("seed %d: subset sweep found %d nodes, truth has %d", seed, len(nodes), len(truth))
+		}
+		for _, n := range nodes {
+			if !truth[n.Key()] {
+				t.Fatalf("seed %d: subset sweep returned non-anonymous node %v", seed, n)
+			}
+		}
+		if evaluated < 1 {
+			t.Error("no evaluations counted")
+		}
+		// Minimal filtering agrees with the direct pruned sweep.
+		minimal, _, err := New().MinimalNodes(tab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filtered := MinimalOf(nodes)
+		if len(filtered) != len(minimal) {
+			t.Fatalf("seed %d: MinimalOf(subset sweep) has %d nodes, direct sweep %d",
+				seed, len(filtered), len(minimal))
+		}
+		direct := map[string]bool{}
+		for _, n := range minimal {
+			direct[n.Key()] = true
+		}
+		for _, n := range filtered {
+			if !direct[n.Key()] {
+				t.Fatalf("seed %d: minimal sets differ at %v", seed, n)
+			}
+		}
+	}
+}
+
+func TestSubsetSweepRejectsSuppressionAndConstraints(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(100, 3, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxSuppression = 0.05
+	if _, _, err := New().SubsetSweep(tab, cfg); err == nil {
+		t.Error("suppression budget should be rejected")
+	}
+	cfg.MaxSuppression = 0
+	cfg.MinLDiversity = 2
+	if _, _, err := New().SubsetSweep(tab, cfg); err == nil {
+		t.Error("diversity constraints should be rejected")
+	}
+}
+
+func TestMinimalOf(t *testing.T) {
+	nodes := []lattice.Node{{1, 1}, {2, 1}, {1, 2}, {2, 2}, {0, 3}}
+	min := MinimalOf(nodes)
+	if len(min) != 2 {
+		t.Fatalf("MinimalOf = %v", min)
+	}
+	keys := map[string]bool{}
+	for _, n := range min {
+		keys[n.Key()] = true
+	}
+	if !keys["[1 1]"] || !keys["[0 3]"] {
+		t.Errorf("MinimalOf = %v", min)
+	}
+}

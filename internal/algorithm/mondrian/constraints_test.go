@@ -1,0 +1,111 @@
+package mondrian
+
+import (
+	"testing"
+
+	"microdata/internal/algorithm/algtest"
+	"microdata/internal/privacy"
+)
+
+func TestMondrianWithLDiversityConstraint(t *testing.T) {
+	for _, alg := range []*Mondrian{New(), NewRelaxed()} {
+		tab, cfg, err := algtest.CensusConfig(400, 4, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.MinLDiversity = 2
+		r, err := alg.Anonymize(tab, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		algtest.CheckResult(t, tab, cfg, r)
+		col := tab.Column(tab.Schema.SensitiveIndex())
+		ok, err := privacy.IsDistinctLDiverse(r.Partition, col, 2)
+		if err != nil || !ok {
+			t.Fatalf("%s: result not 2-diverse: %v, %v", alg.Name(), ok, err)
+		}
+		// The constraint must cost granularity: no more regions than the
+		// unconstrained run.
+		cfg.MinLDiversity = 0
+		r0, err := alg.Anonymize(tab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Partition.NumClasses() > r0.Partition.NumClasses() {
+			t.Errorf("%s: constrained run has MORE regions (%d) than unconstrained (%d)",
+				alg.Name(), r.Partition.NumClasses(), r0.Partition.NumClasses())
+		}
+	}
+}
+
+func TestMondrianWithTClosenessConstraint(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(400, 4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxTCloseness = 0.4
+	r, err := New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algtest.CheckResult(t, tab, cfg, r)
+	col := tab.Column(tab.Schema.SensitiveIndex())
+	got, err := privacy.TCloseness(r.Partition, col, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > 0.4+1e-9 {
+		t.Errorf("t-closeness %v exceeds the 0.4 bound", got)
+	}
+}
+
+func TestMondrianWithEntropyLConstraint(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(400, 4, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MinEntropyL = 1.8
+	r, err := New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algtest.CheckResult(t, tab, cfg, r)
+	col := tab.Column(tab.Schema.SensitiveIndex())
+	got, err := privacy.EntropyLDiversity(r.Partition, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 1.8-1e-9 {
+		t.Errorf("entropy ℓ = %v, want >= 1.8", got)
+	}
+}
+
+func TestMondrianWithRecursiveCLConstraint(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(400, 4, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RecursiveC = 3
+	cfg.RecursiveL = 2
+	r, err := New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algtest.CheckResult(t, tab, cfg, r)
+	col := tab.Column(tab.Schema.SensitiveIndex())
+	ok, err := privacy.RecursiveCLDiversity(r.Partition, col, 3, 2)
+	if err != nil || !ok {
+		t.Fatalf("result not (3,2)-diverse: %v, %v", ok, err)
+	}
+}
+
+func TestMondrianImpossibleConstraintFails(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(100, 2, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MinLDiversity = 99 // beyond the data's distinct sensitive values
+	if _, err := New().Anonymize(tab, cfg); err == nil {
+		t.Error("impossible ℓ requirement should fail (Mondrian cannot suppress)")
+	}
+}

@@ -1,0 +1,211 @@
+// Package muargus implements a μ-Argus-style greedy anonymizer (paper §6,
+// Hundepool & Willenborg): check low-order combinations of quasi-identifiers
+// for rare value combinations, generalize greedily while rare combinations
+// persist, and finally locally suppress the outlier tuples.
+//
+// Faithful to the original's documented weakness — which the paper's §6
+// survey calls out — μ-Argus only inspects combinations up to a fixed order
+// (2 here, as in the original's bivariate checks) and therefore does NOT
+// guarantee k-anonymity over the full quasi-identifier set. The Result it
+// returns is whatever the heuristic achieved; callers who need a guarantee
+// must verify with privacy.IsKAnonymous. This makes μ-Argus a genuinely
+// different — and genuinely biased — baseline for the comparison framework.
+package muargus
+
+import (
+	"fmt"
+	"sort"
+
+	"microdata/internal/algorithm"
+	"microdata/internal/dataset"
+	"microdata/internal/eqclass"
+	"microdata/internal/hierarchy"
+	"microdata/internal/lattice"
+)
+
+// MuArgus is the greedy combination-checking anonymizer.
+type MuArgus struct {
+	// MaxCombination bounds the order of quasi-identifier combinations
+	// checked; 0 defaults to 2 (the original's bivariate tables).
+	MaxCombination int
+}
+
+// New returns a μ-Argus instance with bivariate checking.
+func New() *MuArgus { return &MuArgus{} }
+
+// Name implements algorithm.Algorithm.
+func (*MuArgus) Name() string { return "mu-argus" }
+
+// Anonymize implements algorithm.Algorithm.
+func (m *MuArgus) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	if err := cfg.Validate(t); err != nil {
+		return nil, fmt.Errorf("mu-argus: %w", err)
+	}
+	if cfg.MinLDiversity > 0 || cfg.MaxTCloseness > 0 || cfg.MinEntropyL > 0 || cfg.RecursiveC > 0 {
+		return nil, fmt.Errorf("mu-argus: diversity constraints are not supported — the combination heuristic offers no guarantee even for k (paper §6)")
+	}
+	order := m.MaxCombination
+	if order <= 0 {
+		order = 2
+	}
+	qi := t.Schema.QuasiIdentifiers()
+	if order > len(qi) {
+		order = len(qi)
+	}
+	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("mu-argus: %w", err)
+	}
+	combos := combinations(len(qi), order)
+	node := make(lattice.Node, len(qi))
+	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	steps := 0
+	for {
+		anon, err := hierarchy.GeneralizeTable(t, cfg.Hierarchies, node)
+		if err != nil {
+			return nil, fmt.Errorf("mu-argus: %w", err)
+		}
+		// Local suppression runs to a fixpoint: removing an outlier can
+		// push a surviving combination below k, so suppressed rows are
+		// excluded from the counts and the scan repeats until either no
+		// rare combination remains or the budget is blown.
+		suppressed := map[int]bool{}
+		for {
+			rare := m.rareRows(anon, qi, combos, cfg.K, suppressed)
+			if len(rare) == 0 {
+				all := keysSorted(suppressed)
+				hierarchy.SuppressRows(anon, all)
+				p, err := eqclass.FromTable(anon)
+				if err != nil {
+					return nil, fmt.Errorf("mu-argus: %w", err)
+				}
+				return &algorithm.Result{
+					Algorithm:  m.Name(),
+					Table:      anon,
+					Partition:  p,
+					Levels:     node.Clone(),
+					Suppressed: all,
+					Stats: map[string]float64{
+						"generalization_steps": float64(steps),
+						"suppressed":           float64(len(all)),
+						"combination_order":    float64(order),
+					},
+				}, nil
+			}
+			if len(suppressed)+len(rare) > budget {
+				break // generalize instead
+			}
+			for _, r := range rare {
+				suppressed[r] = true
+			}
+		}
+		// Generalize the attribute participating in the most rare
+		// combinations (greedy, mirroring μ-Argus's interactive advice).
+		scores := m.attributeScores(anon, qi, combos, cfg.K)
+		best, bestScore := -1, -1
+		for li := range qi {
+			if node[li] >= maxLevels[li] {
+				continue
+			}
+			if scores[li] > bestScore {
+				best, bestScore = li, scores[li]
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("mu-argus: rare combinations remain at full generalization (budget %d)", budget)
+		}
+		node[best]++
+		steps++
+	}
+}
+
+func keysSorted(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// rareRows returns the not-yet-suppressed rows participating in any checked
+// combination occurring fewer than k times among unsuppressed rows, sorted
+// ascending. Suppressed rows are unlinkable (paper §3) and excluded.
+func (m *MuArgus) rareRows(t *dataset.Table, qi []int, combos [][]int, k int, suppressed map[int]bool) []int {
+	rare := map[int]struct{}{}
+	for _, combo := range combos {
+		counts := map[string][]int{}
+		for i := range t.Rows {
+			if suppressed[i] {
+				continue
+			}
+			key := comboKey(t, i, qi, combo)
+			counts[key] = append(counts[key], i)
+		}
+		for _, rows := range counts {
+			if len(rows) < k {
+				for _, r := range rows {
+					rare[r] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(rare))
+	for r := range rare {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// attributeScores counts, per quasi-identifier, how many rare rows involve
+// it through a rare combination.
+func (m *MuArgus) attributeScores(t *dataset.Table, qi []int, combos [][]int, k int) []int {
+	scores := make([]int, len(qi))
+	for _, combo := range combos {
+		counts := map[string]int{}
+		for i := range t.Rows {
+			counts[comboKey(t, i, qi, combo)]++
+		}
+		rare := 0
+		for _, c := range counts {
+			if c < k {
+				rare += c
+			}
+		}
+		for _, li := range combo {
+			scores[li] += rare
+		}
+	}
+	return scores
+}
+
+func comboKey(t *dataset.Table, row int, qi, combo []int) string {
+	key := ""
+	for _, li := range combo {
+		key += t.At(row, qi[li]).Key() + "\x1f"
+	}
+	return key
+}
+
+// combinations enumerates all index subsets of {0..n-1} with size 1..order.
+func combinations(n, order int) [][]int {
+	var out [][]int
+	var cur []int
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) > 0 && len(cur) <= order {
+			out = append(out, append([]int(nil), cur...))
+		}
+		if len(cur) == order {
+			return
+		}
+		for i := start; i < n; i++ {
+			cur = append(cur, i)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}

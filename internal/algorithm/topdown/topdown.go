@@ -1,0 +1,87 @@
+// Package topdown implements a top-down specialization anonymizer inspired
+// by Fung, Wang & Yu's TDS (paper §6): start from the fully generalized
+// table and repeatedly specialize — lower one attribute's generalization
+// level — choosing at each step the specialization with the best utility
+// improvement per unit of anonymity consumed, while the table remains
+// k-anonymous within the suppression budget.
+//
+// Simplification vs. the published algorithm: TDS specializes individual
+// taxonomy nodes guided by an information/anonymity score over a
+// classification task; this reproduction specializes whole attributes on
+// the full-domain lattice with the configured utility metric as the
+// score, which preserves the top-down greedy character the comparison
+// experiments need (DESIGN.md §5).
+package topdown
+
+import (
+	"fmt"
+
+	"microdata/internal/algorithm"
+	"microdata/internal/dataset"
+	"microdata/internal/lattice"
+)
+
+// TopDown is the greedy specialization anonymizer.
+type TopDown struct{}
+
+// New returns a TopDown instance.
+func New() *TopDown { return &TopDown{} }
+
+// Name implements algorithm.Algorithm.
+func (*TopDown) Name() string { return "topdown" }
+
+// Anonymize implements algorithm.Algorithm.
+func (td *TopDown) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	if err := cfg.Validate(t); err != nil {
+		return nil, fmt.Errorf("topdown: %w", err)
+	}
+	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("topdown: %w", err)
+	}
+	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	node := make(lattice.Node, len(maxLevels))
+	copy(node, maxLevels) // start fully generalized
+	cost, err := algorithm.NodeCost(t, cfg, node)
+	if err != nil {
+		return nil, fmt.Errorf("topdown: %w", err)
+	}
+	steps := 0
+	for {
+		// Candidate specializations: lower one attribute by one level,
+		// keeping feasibility.
+		bestIdx, bestCost := -1, cost
+		for i := range node {
+			if node[i] == 0 {
+				continue
+			}
+			node[i]--
+			_, _, small, err := algorithm.ApplyNode(t, cfg, node)
+			if err != nil {
+				node[i]++
+				return nil, fmt.Errorf("topdown: %w", err)
+			}
+			if len(small) <= budget {
+				c, err := algorithm.NodeCost(t, cfg, node)
+				if err != nil {
+					node[i]++
+					return nil, fmt.Errorf("topdown: %w", err)
+				}
+				if c < bestCost {
+					bestIdx, bestCost = i, c
+				}
+			}
+			node[i]++
+		}
+		if bestIdx < 0 {
+			break
+		}
+		node[bestIdx]--
+		cost = bestCost
+		steps++
+	}
+	return algorithm.FinishGlobal(td.Name(), t, cfg, node, map[string]float64{
+		"specializations": float64(steps),
+		"final_cost":      cost,
+	})
+}

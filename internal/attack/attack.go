@@ -1,0 +1,246 @@
+// Package attack simulates the re-identification attacks that motivate the
+// paper's §2 discussion: "attacks on the anonymized data sets could be
+// targeted towards a particular subset of the individuals represented in
+// the data set. In such a situation, a user needs to be concerned about her
+// own level of privacy, rather than that maintained collectively."
+//
+// The adversary holds the original quasi-identifier values of a victim
+// (e.g. from a voter list) and matches them against the anonymized table.
+// Three standard risk models are provided, each as a per-tuple property
+// vector ready for the comparison framework:
+//
+//   - prosecutor risk: the victim is known to be IN the table; the
+//     re-identification probability is 1/|matching class|;
+//   - journalist risk: the victim may not be in the table; risk is bounded
+//     by the prosecutor risk of the matching class (equal here because the
+//     anonymized table is the adversary's only population information);
+//   - marketer risk: the expected fraction of records an adversary
+//     re-identifies when linking the WHOLE table — a scalar, the mean of
+//     the prosecutor vector.
+//
+// Matching is semantic, not syntactic: a victim's ground values are
+// compared against generalized cells with Value.Covers (plus taxonomy
+// coverage for Set cells), so local recodings (Mondrian regions) and
+// global recodings are attacked identically.
+package attack
+
+import (
+	"fmt"
+
+	"microdata/internal/core"
+	"microdata/internal/dataset"
+	"microdata/internal/hierarchy"
+)
+
+// Adversary matches ground quasi-identifier values against an anonymized
+// table.
+type Adversary struct {
+	anon *dataset.Table
+	qi   []int
+	taxs map[string]*hierarchy.Taxonomy
+}
+
+// NewAdversary builds an adversary against the anonymized table. The
+// taxonomies resolve Set-generalized categorical cells; attributes
+// generalized only by intervals, prefixes or suppression need no entry.
+func NewAdversary(anon *dataset.Table, taxonomies map[string]*hierarchy.Taxonomy) (*Adversary, error) {
+	if anon == nil || anon.Len() == 0 {
+		return nil, fmt.Errorf("attack: empty anonymized table")
+	}
+	qi := anon.Schema.QuasiIdentifiers()
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("attack: no quasi-identifiers to link on")
+	}
+	return &Adversary{anon: anon, qi: qi, taxs: taxonomies}, nil
+}
+
+// covers reports whether the generalized cell g is consistent with the
+// victim's ground value v for the given attribute.
+func (a *Adversary) covers(g, v dataset.Value, attr dataset.Attribute) bool {
+	if g.Kind() == dataset.Set {
+		tax := a.taxs[attr.Name]
+		if tax == nil || v.Kind() != dataset.Str {
+			return false
+		}
+		return tax.CoversValue(g.Text(), v.Text())
+	}
+	// Mondrian numeric hulls attain their low endpoint; accept boundary
+	// matches that Covers' half-open convention would reject.
+	if g.Kind() == dataset.Interval && v.Kind() == dataset.Num {
+		lo, hi := g.Bounds()
+		return v.Float() >= lo && v.Float() <= hi
+	}
+	return g.Covers(v) || g.Equal(v)
+}
+
+// MatchSet returns the row indices of the anonymized table consistent with
+// the victim's ground quasi-identifier values (aligned with the schema's
+// QI order).
+func (a *Adversary) MatchSet(victim []dataset.Value) ([]int, error) {
+	if len(victim) != len(a.qi) {
+		return nil, fmt.Errorf("attack: victim has %d quasi-identifier values, schema has %d", len(victim), len(a.qi))
+	}
+	var matches []int
+rows:
+	for i := range a.anon.Rows {
+		for vi, j := range a.qi {
+			if !a.covers(a.anon.At(i, j), victim[vi], a.anon.Schema.Attrs[j]) {
+				continue rows
+			}
+		}
+		matches = append(matches, i)
+	}
+	return matches, nil
+}
+
+// victimOf extracts row i's ground QI values from the original table.
+func victimOf(orig *dataset.Table, qi []int, i int) []dataset.Value {
+	v := make([]dataset.Value, len(qi))
+	for vi, j := range qi {
+		v[vi] = orig.At(i, j)
+	}
+	return v
+}
+
+// ProsecutorVector computes the per-tuple prosecutor risk: for every
+// individual of the original table, 1 over the number of anonymized
+// records consistent with their quasi-identifiers. A sound anonymization
+// yields risk <= 1/k everywhere (its own record always matches, and so do
+// its k-1 classmates).
+func ProsecutorVector(orig *dataset.Table, adv *Adversary) (core.PropertyVector, error) {
+	if orig.Len() != adv.anon.Len() {
+		return nil, fmt.Errorf("attack: original has %d rows, anonymized %d", orig.Len(), adv.anon.Len())
+	}
+	out := make(core.PropertyVector, orig.Len())
+	for i := range orig.Rows {
+		matches, err := adv.MatchSet(victimOf(orig, adv.qi, i))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("attack: tuple %d matches no anonymized record — the anonymization is inconsistent with its input", i)
+		}
+		out[i] = 1 / float64(len(matches))
+	}
+	return out, nil
+}
+
+// SafetyVector is the higher-is-better form the comparison framework
+// wants: 1 − prosecutor risk.
+func SafetyVector(orig *dataset.Table, adv *Adversary) (core.PropertyVector, error) {
+	risk, err := ProsecutorVector(orig, adv)
+	if err != nil {
+		return nil, err
+	}
+	out := make(core.PropertyVector, len(risk))
+	for i, r := range risk {
+		out[i] = 1 - r
+	}
+	return out, nil
+}
+
+// MarketerRisk is the expected fraction of records a whole-table linkage
+// re-identifies: the mean prosecutor risk.
+func MarketerRisk(orig *dataset.Table, adv *Adversary) (float64, error) {
+	risk, err := ProsecutorVector(orig, adv)
+	if err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for _, r := range risk {
+		s += r
+	}
+	return s / float64(len(risk)), nil
+}
+
+// JournalistVector computes the per-tuple journalist risk: the adversary
+// knows the victim is in a larger POPULATION the released sample was drawn
+// from, not that the victim is in the table. For the individual of sample
+// row i, the candidate set is every population record whose ground
+// quasi-identifiers fall inside one of the anonymized regions matching the
+// victim; the risk is 1 over that count. With population ⊇ sample the
+// candidate set contains the whole sample match set, so journalist risk
+// never exceeds prosecutor risk.
+func JournalistVector(sample, population *dataset.Table, adv *Adversary) (core.PropertyVector, error) {
+	if sample.Len() != adv.anon.Len() {
+		return nil, fmt.Errorf("attack: sample has %d rows, anonymized %d", sample.Len(), adv.anon.Len())
+	}
+	if population == nil || population.Len() < sample.Len() {
+		return nil, fmt.Errorf("attack: population must be at least the sample")
+	}
+	if population.Schema.Len() != sample.Schema.Len() {
+		return nil, fmt.Errorf("attack: population schema mismatch")
+	}
+	qi := sample.Schema.QuasiIdentifiers()
+	out := make(core.PropertyVector, sample.Len())
+	for i := range out {
+		matches, err := adv.MatchSet(victimOf(sample, qi, i))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("attack: sample row %d matches no anonymized record", i)
+		}
+		// Dedupe matched regions by their anonymized signature.
+		seen := map[string]bool{}
+		var regions []int
+		for _, m := range matches {
+			sig := ""
+			for _, j := range qi {
+				sig += adv.anon.At(m, j).Key() + "\x1f"
+			}
+			if !seen[sig] {
+				seen[sig] = true
+				regions = append(regions, m)
+			}
+		}
+		// Count population candidates covered by any matched region.
+		candidates := 0
+	pop:
+		for p := 0; p < population.Len(); p++ {
+			for _, m := range regions {
+				all := true
+				for _, j := range qi {
+					if !adv.covers(adv.anon.At(m, j), population.At(p, j), sample.Schema.Attrs[j]) {
+						all = false
+						break
+					}
+				}
+				if all {
+					candidates++
+					continue pop
+				}
+			}
+		}
+		if candidates < len(matches) {
+			// Population does not contain the sample: fall back to the
+			// sample match set (prosecutor bound).
+			candidates = len(matches)
+		}
+		out[i] = 1 / float64(candidates)
+	}
+	return out, nil
+}
+
+// TargetedRisk reports the risk distribution over a targeted subset of
+// individuals (the paper's §2 scenario): the subset's mean and worst
+// prosecutor risk. rows index the original table.
+func TargetedRisk(orig *dataset.Table, adv *Adversary, rows []int) (mean, worst float64, err error) {
+	if len(rows) == 0 {
+		return 0, 0, fmt.Errorf("attack: empty target subset")
+	}
+	risk, err := ProsecutorVector(orig, adv)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, r := range rows {
+		if r < 0 || r >= len(risk) {
+			return 0, 0, fmt.Errorf("attack: target row %d out of range", r)
+		}
+		mean += risk[r]
+		if risk[r] > worst {
+			worst = risk[r]
+		}
+	}
+	return mean / float64(len(rows)), worst, nil
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnaryIndicesPaperValues(t *testing.T) {
+	// §3: P_k-anon(s) = min(s) = 3 and P_s-avg(s) = 3.4 for T3a.
+	if got, err := EvalUnary(PKAnon, sT3a); err != nil || got != 3 {
+		t.Errorf("P_k-anon(T3a) = %v, %v; want 3", got, err)
+	}
+	if got, err := EvalUnary(PSAvg, sT3a); err != nil || got != 3.4 {
+		t.Errorf("P_s-avg(T3a) = %v, %v; want 3.4", got, err)
+	}
+	// §3: P_l-div on the sensitive-count vector of T3a is 1.
+	counts := PropertyVector{2, 2, 1, 2, 2, 1, 2, 1, 2, 1}
+	if got, err := EvalUnary(PLDiv, counts); err != nil || got != 1 {
+		t.Errorf("P_l-div(T3a) = %v, %v; want 1", got, err)
+	}
+}
+
+func TestOtherUnaryIndices(t *testing.T) {
+	v := PropertyVector{4, 1, 3, 2}
+	if got := PMax.F(v); got != 4 {
+		t.Errorf("P_max = %v", got)
+	}
+	if got := PSum.F(v); got != 10 {
+		t.Errorf("P_sum = %v", got)
+	}
+	if got := PMedian.F(v); got != 2.5 {
+		t.Errorf("P_median = %v", got)
+	}
+	if got := PMedian.F(PropertyVector{5, 1, 9}); got != 5 {
+		t.Errorf("odd P_median = %v", got)
+	}
+	for _, idx := range []UnaryIndex{PKAnon, PSAvg, PMax, PMedian} {
+		if !math.IsNaN(idx.F(nil)) {
+			t.Errorf("%s(nil) should be NaN", idx.Name)
+		}
+	}
+}
+
+func TestEvalUnaryValidates(t *testing.T) {
+	if _, err := EvalUnary(PKAnon, PropertyVector{math.NaN()}); err == nil {
+		t.Error("NaN vector should fail")
+	}
+	if _, err := EvalUnary(PKAnon, nil); err == nil {
+		t.Error("empty vector should fail")
+	}
+}
+
+func TestPRank(t *testing.T) {
+	dmax := PropertyVector{10, 10}
+	idx := PRank(dmax)
+	if idx.HigherIsBetter {
+		t.Error("rank index must be lower-is-better")
+	}
+	if got := idx.F(PropertyVector{10, 10}); got != 0 {
+		t.Errorf("rank of ideal = %v", got)
+	}
+	if got := idx.F(PropertyVector{7, 6}); got != 5 {
+		t.Errorf("rank = %v, want 5 (3-4-5 triangle)", got)
+	}
+	if got := idx.F(PropertyVector{1, 2, 3}); !math.IsNaN(got) {
+		t.Errorf("size mismatch should give NaN, got %v", got)
+	}
+	// Fig. 2: points on the same arc are equi-ranked.
+	if idx.F(PropertyVector{10, 5}) != idx.F(PropertyVector{5, 10}) {
+		t.Error("symmetric points should be equi-ranked")
+	}
+	// The ideal vector is immune to later mutation of dmax.
+	dmax[0] = 0
+	if got := idx.F(PropertyVector{10, 10}); got != 0 {
+		t.Error("PRank should capture a copy of Dmax")
+	}
+}
+
+func TestPBinaryPaperValues(t *testing.T) {
+	// §3: P_binary(s,t) = 0 and P_binary(t,s) = 7 for T3a vs T3b.
+	if got, err := EvalBinary(PBinary, sT3a, tT3b); err != nil || got != 0 {
+		t.Errorf("P_binary(s,t) = %v, %v; want 0", got, err)
+	}
+	if got, err := EvalBinary(PBinary, tT3b, sT3a); err != nil || got != 7 {
+		t.Errorf("P_binary(t,s) = %v, %v; want 7", got, err)
+	}
+}
+
+func TestPCovPaperValues(t *testing.T) {
+	// §5.5: P_cov(p_a, p_b) = 0.3 and P_cov(p_b, p_a) = 1 on class sizes.
+	if got, _ := EvalBinary(PCov, sT3a, tT3b); got != 0.3 {
+		t.Errorf("P_cov(p_a,p_b) = %v, want 0.3", got)
+	}
+	if got, _ := EvalBinary(PCov, tT3b, sT3a); got != 1 {
+		t.Errorf("P_cov(p_b,p_a) = %v, want 1", got)
+	}
+	// §5.3 hypotheticals: D1=(2,2,3,4,5), D2=(3,2,4,2,3): both 3/5.
+	d1 := PropertyVector{2, 2, 3, 4, 5}
+	d2 := PropertyVector{3, 2, 4, 2, 3}
+	if got, _ := EvalBinary(PCov, d1, d2); got != 0.6 {
+		t.Errorf("P_cov(D1,D2) = %v, want 0.6", got)
+	}
+	if got, _ := EvalBinary(PCov, d2, d1); got != 0.6 {
+		t.Errorf("P_cov(D2,D1) = %v, want 0.6", got)
+	}
+}
+
+func TestPSprPaperValues(t *testing.T) {
+	// §5.3: D1=(2,2,3,4,5) vs D2=(3,2,4,2,3): spreads 4 and 2.
+	d1 := PropertyVector{2, 2, 3, 4, 5}
+	d2 := PropertyVector{3, 2, 4, 2, 3}
+	if got, _ := EvalBinary(PSpr, d1, d2); got != 4 {
+		t.Errorf("P_spr(D1,D2) = %v, want 4", got)
+	}
+	if got, _ := EvalBinary(PSpr, d2, d1); got != 2 {
+		t.Errorf("P_spr(D2,D1) = %v, want 2", got)
+	}
+	// §5.3: the 3-anonymous vs 2-anonymous example "compare at 2 and 8".
+	three := PropertyVector{3, 3, 3, 5, 5, 5, 5, 5, 3, 3, 3, 4, 4, 4, 4}
+	two := PropertyVector{2, 2, 6, 6, 6, 6, 6, 6, 3, 3, 3, 4, 4, 4, 4}
+	if got, _ := EvalBinary(PSpr, three, two); got != 2 {
+		t.Errorf("P_spr(3-anon, 2-anon) = %v, want 2", got)
+	}
+	if got, _ := EvalBinary(PSpr, two, three); got != 8 {
+		t.Errorf("P_spr(2-anon, 3-anon) = %v, want 8", got)
+	}
+	// And the coverage index agrees ("In fact, the P_cov index also
+	// points at the same"): 2-anon covers 13 of 15, 3-anon 9 of 15.
+	if got, _ := EvalBinary(PCov, two, three); math.Abs(got-13.0/15) > 1e-12 {
+		t.Errorf("P_cov(2-anon,3-anon) = %v, want 13/15", got)
+	}
+	if got, _ := EvalBinary(PCov, three, two); math.Abs(got-9.0/15) > 1e-12 {
+		t.Errorf("P_cov(3-anon,2-anon) = %v, want 9/15", got)
+	}
+}
+
+func TestPHvPaperValues(t *testing.T) {
+	// §5.4: s=(3,3,3,5,5,5,5,5), t=(4,...,4):
+	// P_hv(s,t) = 3^3·5^5 − 3^3·4^5 = 84375 − 27648 = 56727
+	// P_hv(t,s) = 4^8 − 27648 = 65536 − 27648 = 37888.
+	s := PropertyVector{3, 3, 3, 5, 5, 5, 5, 5}
+	tt := PropertyVector{4, 4, 4, 4, 4, 4, 4, 4}
+	if got, _ := EvalBinary(PHv, s, tt); got != 56727 {
+		t.Errorf("P_hv(s,t) = %v, want 56727", got)
+	}
+	if got, _ := EvalBinary(PHv, tt, s); got != 37888 {
+		t.Errorf("P_hv(t,s) = %v, want 37888", got)
+	}
+}
+
+func TestPHvLogAgreesWithPHvQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(6) + 1
+		a := make(PropertyVector, n)
+		b := make(PropertyVector, n)
+		for j := range a {
+			a[j] = float64(rng.Intn(9) + 1)
+			b[j] = float64(rng.Intn(9) + 1)
+		}
+		hvAB, _ := EvalBinary(PHv, a, b)
+		hvBA, _ := EvalBinary(PHv, b, a)
+		lgAB, _ := EvalBinary(PHvLog, a, b)
+		lgBA, _ := EvalBinary(PHvLog, b, a)
+		// The comparator decision must agree: sign of (AB - BA).
+		cmpHv := sign(hvAB - hvBA)
+		cmpLg := sign(lgAB - lgBA)
+		if cmpHv != cmpLg {
+			t.Fatalf("orderings disagree for a=%v b=%v: hv %v/%v log %v/%v", a, b, hvAB, hvBA, lgAB, lgBA)
+		}
+	}
+}
+
+func sign(x float64) int {
+	const eps = 1e-9
+	switch {
+	case x > eps:
+		return 1
+	case x < -eps:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func TestPHvLogRequiresPositive(t *testing.T) {
+	if got, _ := EvalBinary(PHvLog, PropertyVector{0, 1}, PropertyVector{1, 1}); !math.IsNaN(got) {
+		t.Errorf("P_hv-log with zero should be NaN, got %v", got)
+	}
+	if got, _ := EvalBinary(PHvLog, PropertyVector{2, 1}, PropertyVector{-1, 1}); !math.IsNaN(got) {
+		t.Errorf("P_hv-log with negative min should be NaN, got %v", got)
+	}
+}
+
+func TestPHvLogLargeN(t *testing.T) {
+	// 1000 tuples with class size 50: PHv overflows to +Inf usable-ness,
+	// PHvLog stays finite and ranks correctly.
+	n := 1000
+	a := make(PropertyVector, n)
+	b := make(PropertyVector, n)
+	for i := range a {
+		a[i], b[i] = 50, 49
+	}
+	got, err := EvalBinary(PHvLog, a, b)
+	if err != nil || math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("P_hv-log large N = %v, %v", got, err)
+	}
+	if got <= 0 {
+		t.Errorf("a strictly dominates b, P_hv-log should be positive, got %v", got)
+	}
+	if back, _ := EvalBinary(PHvLog, b, a); back != 0 {
+		t.Errorf("P_hv-log(b,a) = %v, want 0 (b never exceeds a)", back)
+	}
+}
+
+func TestEvalBinaryErrors(t *testing.T) {
+	if _, err := EvalBinary(PCov, PropertyVector{1}, PropertyVector{1, 2}); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	if _, err := EvalBinary(PCov, nil, nil); err == nil {
+		t.Error("empty vectors should fail")
+	}
+}
+
+// §5.3: P_spr(D1,D2) = 0 ⟺ D2 ≿ D1.
+func TestSpreadZeroIffDominatedQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(5) + 1
+		a, b := randVec(rng, n), randVec(rng, n)
+		spr, _ := EvalBinary(PSpr, a, b)
+		dom, _ := WeaklyDominates(b, a)
+		if (spr == 0) != dom {
+			t.Fatalf("P_spr(a,b)=0 ⟺ b ≿ a violated for a=%v b=%v", a, b)
+		}
+	}
+}
+
+// §5.4: P_hv(D1,D2) = 0 ⟺ D2 ≿ D1 (for positive vectors).
+func TestHypervolumeZeroIffDominatedQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(5) + 1
+		a := make(PropertyVector, n)
+		b := make(PropertyVector, n)
+		for j := range a {
+			a[j] = float64(rng.Intn(5) + 1)
+			b[j] = float64(rng.Intn(5) + 1)
+		}
+		hv, _ := EvalBinary(PHv, a, b)
+		dom, _ := WeaklyDominates(b, a)
+		if (hv == 0) != dom {
+			t.Fatalf("P_hv(a,b)=0 ⟺ b ≿ a violated for a=%v b=%v", a, b)
+		}
+	}
+}
+
+// §5.2: P_cov(D1,D2)=1 and P_cov(D2,D1)=0 implies strong dominance — note
+// the paper states D1 ≻ D2; with the >= convention P_cov(D2,D1)=0 means D1
+// is strictly better everywhere.
+func TestCoverageExtremesImplyDominanceQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(5) + 1
+		a, b := randVec(rng, n), randVec(rng, n)
+		covAB, _ := EvalBinary(PCov, a, b)
+		covBA, _ := EvalBinary(PCov, b, a)
+		if covAB == 1 && covBA == 0 {
+			if s, _ := StronglyDominates(a, b); !s {
+				t.Fatalf("coverage extremes without dominance: a=%v b=%v", a, b)
+			}
+		}
+		// Duality: every tuple is counted by at least one direction.
+		if covAB+covBA < 1 {
+			t.Fatalf("P_cov(a,b)+P_cov(b,a) = %v < 1 for a=%v b=%v", covAB+covBA, a, b)
+		}
+	}
+}
+
+func TestEntropyL(t *testing.T) {
+	// Uniform over 4 values: ℓ = 4.
+	l, err := EntropyL([]float64{1, 1, 1, 1})
+	if err != nil || math.Abs(l-4) > 1e-9 {
+		t.Errorf("uniform entropy ℓ = %v, %v", l, err)
+	}
+	// Degenerate: ℓ = 1.
+	l, err = EntropyL([]float64{5, 0, 0})
+	if err != nil || math.Abs(l-1) > 1e-9 {
+		t.Errorf("degenerate entropy ℓ = %v, %v", l, err)
+	}
+	if _, err := EntropyL(nil); err == nil {
+		t.Error("empty distribution should fail")
+	}
+	if _, err := EntropyL([]float64{0, 0}); err == nil {
+		t.Error("zero distribution should fail")
+	}
+	if _, err := EntropyL([]float64{-1, 2}); err == nil {
+		t.Error("negative probability should fail")
+	}
+}
+
+func TestEntropyLRangeQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		dist := make([]float64, len(raw))
+		nonzero := 0
+		for i, r := range raw {
+			dist[i] = float64(r)
+			if r > 0 {
+				nonzero++
+			}
+		}
+		l, err := EntropyL(dist)
+		if err != nil {
+			return nonzero == 0
+		}
+		return l >= 1-1e-9 && l <= float64(nonzero)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNormString(t *testing.T) {
+	if L2.String() != "L2" || L1.String() != "L1" || LInf.String() != "Linf" {
+		t.Error("norm names mismatch")
+	}
+	if !strings.Contains(Norm(9).String(), "9") {
+		t.Error("unknown norm should include code")
+	}
+}
+
+func TestPRankWithNorms(t *testing.T) {
+	dmax := PropertyVector{10, 10, 10}
+	d := PropertyVector{7, 10, 6}
+	if got := PRankWith(dmax, L1).F(d); got != 7 {
+		t.Errorf("L1 = %v, want 7", got)
+	}
+	if got := PRankWith(dmax, LInf).F(d); got != 4 {
+		t.Errorf("Linf = %v, want 4", got)
+	}
+	if got := PRankWith(dmax, L2).F(d); got != 5 {
+		t.Errorf("L2 = %v, want 5 (3-4-5)", got)
+	}
+	// Default PRank is L2.
+	if PRank(dmax).F(d) != PRankWith(dmax, L2).F(d) {
+		t.Error("PRank should default to L2")
+	}
+	if got := PRankWith(dmax, L1).Name; got != "P_rank-L1" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestRankBetterNormField(t *testing.T) {
+	dmax := PropertyVector{10, 10}
+	// Under LInf the pair (10,2) vs (6,6) prefers the second (worst
+	// shortfall 4 < 8); under L1 both are 8 away — a tie.
+	a := PropertyVector{10, 2}
+	b := PropertyVector{6, 6}
+	out, err := (RankBetter{Dmax: dmax, Norm: LInf}).Compare(a, b)
+	if err != nil || out != RightBetter {
+		t.Errorf("LInf rank = %v, %v; want right better", out, err)
+	}
+	out, err = (RankBetter{Dmax: dmax, Norm: L1}).Compare(a, b)
+	if err != nil || out != Tie {
+		t.Errorf("L1 rank = %v, %v; want tie", out, err)
+	}
+	out, err = (RankBetter{Dmax: dmax}).Compare(a, b)
+	if err != nil || out != RightBetter {
+		t.Errorf("L2 rank = %v, %v; want right better (8 > sqrt(32))", out, err)
+	}
+}
+
+// Norm laws: non-negativity, identity, symmetry in the displacement, and
+// triangle inequality via the induced metric.
+func TestRankNormLawsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 1500; trial++ {
+		n := rng.Intn(5) + 1
+		dmax := make(PropertyVector, n)
+		a := make(PropertyVector, n)
+		b := make(PropertyVector, n)
+		for i := 0; i < n; i++ {
+			dmax[i] = float64(rng.Intn(10))
+			a[i] = float64(rng.Intn(10))
+			b[i] = float64(rng.Intn(10))
+		}
+		for _, norm := range []Norm{L1, L2, LInf} {
+			idx := PRankWith(dmax, norm)
+			da, db := idx.F(a), idx.F(b)
+			if da < 0 || db < 0 {
+				t.Fatalf("%v: negative distance", norm)
+			}
+			if idx.F(dmax) != 0 {
+				t.Fatalf("%v: distance to self nonzero", norm)
+			}
+			// Triangle inequality through the ideal point:
+			// d(a, dmax) <= d(a, b's displacement) is not directly
+			// expressible with a unary index; instead verify the norm
+			// inequality chain Linf <= L2 <= L1.
+		}
+		l1 := PRankWith(dmax, L1).F(a)
+		l2 := PRankWith(dmax, L2).F(a)
+		li := PRankWith(dmax, LInf).F(a)
+		if !(li <= l2+1e-9 && l2 <= l1+1e-9) {
+			t.Fatalf("norm chain violated: Linf=%v L2=%v L1=%v", li, l2, l1)
+		}
+	}
+}

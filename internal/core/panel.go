@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// Panel is a vector of unary quality indices P = (P_1, ..., P_n) as used in
+// Theorem 1: an attempt to characterize dominance between N-dimensional
+// property vectors through n scalar measurements.
+type Panel struct {
+	Indices []UnaryIndex
+}
+
+// StandardPanel returns the classical aggregate indices every scalar
+// privacy model draws from: min (k-anonymity / ℓ-diversity), mean, median,
+// max and sum. All are symmetric functions, which is exactly why the panel
+// cannot characterize dominance (Theorem 1): swapping two elements of a
+// vector changes dominance relations but no symmetric index value.
+func StandardPanel() Panel {
+	return Panel{Indices: []UnaryIndex{PKAnon, PSAvg, PMedian, PMax, PSum}}
+}
+
+// ProjectionPanel returns the n coordinate projections P_i(D) = d_i. For
+// vectors of size N = n this panel satisfies the equivalence of Theorem 1
+// with the minimum possible number of indices, witnessing that the bound
+// n >= N is tight.
+func ProjectionPanel(n int) Panel {
+	idx := make([]UnaryIndex, n)
+	for i := 0; i < n; i++ {
+		i := i
+		idx[i] = UnaryIndex{
+			Name:           "P_proj" + strconv.Itoa(i+1),
+			HigherIsBetter: true,
+			F: func(v PropertyVector) float64 {
+				return v[i]
+			},
+		}
+	}
+	return Panel{Indices: idx}
+}
+
+// AgreesGE reports whether every index of the panel scores a at least as
+// well as b, i.e. the left side of Theorem 1's equivalence
+// ∀i: P_i(D1) >= P_i(D2) (with orientation folded in for lower-is-better
+// indices).
+func (p Panel) AgreesGE(a, b PropertyVector) (bool, error) {
+	if err := checkPair(a, b); err != nil {
+		return false, err
+	}
+	if len(p.Indices) == 0 {
+		return false, fmt.Errorf("core: empty index panel")
+	}
+	for _, idx := range p.Indices {
+		va, vb := idx.F(a), idx.F(b)
+		if !idx.HigherIsBetter {
+			va, vb = -va, -vb
+		}
+		if va < vb {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Counterexample records a violation of Theorem 1's equivalence for a
+// concrete panel: either the panel unanimously scores A >= B while A does
+// not weakly dominate B (the panel "invents" an ordering between
+// incomparable anonymizations), or A weakly dominates B while some index
+// disagrees (impossible for monotone indices, but user panels may include
+// non-monotone ones).
+type Counterexample struct {
+	A, B   PropertyVector
+	Reason string
+}
+
+// FindDominanceCounterexample searches random integer-valued vectors of the
+// given size for a violation of the equivalence
+// ∀i: P_i(A) >= P_i(B) ⟺ A ≿ B. It returns the first counterexample found,
+// the number of trials used, or nil after maxTrials trials. The search is
+// deterministic for a fixed seed.
+//
+// For any panel of symmetric indices and size >= 2, the pair (a,b)/(b,a)
+// with a != b violates the equivalence, so the search finds a witness
+// almost immediately — the empirical face of Theorem 1 (experiment E13).
+func FindDominanceCounterexample(p Panel, size, maxTrials int, seed int64) (*Counterexample, int, error) {
+	if size < 2 {
+		return nil, 0, fmt.Errorf("core: counterexample search needs size >= 2, got %d", size)
+	}
+	if maxTrials < 1 {
+		return nil, 0, fmt.Errorf("core: counterexample search needs at least one trial")
+	}
+	if len(p.Indices) == 0 {
+		return nil, 0, fmt.Errorf("core: empty index panel")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := make(PropertyVector, size)
+	b := make(PropertyVector, size)
+	for trial := 1; trial <= maxTrials; trial++ {
+		for i := range a {
+			a[i] = float64(rng.Intn(9) + 1)
+			b[i] = float64(rng.Intn(9) + 1)
+		}
+		ce, err := checkEquivalence(p, a, b)
+		if err != nil {
+			return nil, trial, err
+		}
+		if ce == nil {
+			ce, err = checkEquivalence(p, b, a)
+			if err != nil {
+				return nil, trial, err
+			}
+		}
+		if ce != nil {
+			return ce, trial, nil
+		}
+	}
+	return nil, maxTrials, nil
+}
+
+// checkEquivalence tests one direction of Theorem 1's equivalence for the
+// ordered pair (a, b).
+func checkEquivalence(p Panel, a, b PropertyVector) (*Counterexample, error) {
+	agree, err := p.AgreesGE(a, b)
+	if err != nil {
+		return nil, err
+	}
+	dom, err := WeaklyDominates(a, b)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case agree && !dom:
+		return &Counterexample{
+			A:      a.Clone(),
+			B:      b.Clone(),
+			Reason: "all indices score A >= B but A does not weakly dominate B",
+		}, nil
+	case dom && !agree:
+		return &Counterexample{
+			A:      a.Clone(),
+			B:      b.Clone(),
+			Reason: "A weakly dominates B but some index scores A < B",
+		}, nil
+	}
+	return nil, nil
+}
+
+// VerifyEquivalence checks that a panel satisfies Theorem 1's equivalence
+// on random vector pairs of the given size, returning the number of trials
+// performed and the first counterexample encountered (nil when the panel
+// passes all trials). ProjectionPanel(n) with size n passes for any number
+// of trials — the witness that n = N indices suffice.
+func VerifyEquivalence(p Panel, size, trials int, seed int64) (*Counterexample, int, error) {
+	ce, n, err := FindDominanceCounterexample(p, size, trials, seed)
+	return ce, n, err
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TournamentResult ranks a field of anonymizations by pairwise ▶-better
+// wins — the natural way to apply the paper's binary comparators to more
+// than two anonymizations at once (§5.4's "tournament style mechanism"
+// applied literally).
+type TournamentResult struct {
+	// Wins[i] counts the pairwise comparisons entrant i won.
+	Wins []int
+	// Ties[i] counts entrant i's ties.
+	Ties []int
+	// Order lists entrant indices from most to fewest wins (stable for
+	// equal wins: earlier entrants first).
+	Order []int
+}
+
+// Tournament plays every ordered pair of property vectors under the
+// comparator and tallies wins. All vectors must share one length.
+func Tournament(vectors []PropertyVector, cmp Comparator) (*TournamentResult, error) {
+	if len(vectors) < 2 {
+		return nil, fmt.Errorf("core: tournament needs at least 2 entrants, got %d", len(vectors))
+	}
+	if cmp == nil {
+		return nil, fmt.Errorf("core: nil comparator")
+	}
+	n := len(vectors)
+	res := &TournamentResult{
+		Wins: make([]int, n),
+		Ties: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out, err := cmp.Compare(vectors[i], vectors[j])
+			if err != nil {
+				return nil, fmt.Errorf("core: tournament pair (%d,%d): %w", i, j, err)
+			}
+			switch out {
+			case LeftBetter:
+				res.Wins[i]++
+			case RightBetter:
+				res.Wins[j]++
+			default:
+				res.Ties[i]++
+				res.Ties[j]++
+			}
+		}
+	}
+	res.Order = rankByWins(res.Wins)
+	return res, nil
+}
+
+// TournamentSets is Tournament over r-property sets with a multi-property
+// comparator (WTD, LEX or GOAL).
+func TournamentSets(sets []PropertySet, cmp SetComparator) (*TournamentResult, error) {
+	if len(sets) < 2 {
+		return nil, fmt.Errorf("core: tournament needs at least 2 entrants, got %d", len(sets))
+	}
+	if cmp == nil {
+		return nil, fmt.Errorf("core: nil comparator")
+	}
+	n := len(sets)
+	res := &TournamentResult{
+		Wins: make([]int, n),
+		Ties: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out, err := cmp.Compare(sets[i], sets[j])
+			if err != nil {
+				return nil, fmt.Errorf("core: tournament pair (%d,%d): %w", i, j, err)
+			}
+			switch out {
+			case LeftBetter:
+				res.Wins[i]++
+			case RightBetter:
+				res.Wins[j]++
+			default:
+				res.Ties[i]++
+				res.Ties[j]++
+			}
+		}
+	}
+	res.Order = rankByWins(res.Wins)
+	return res, nil
+}
+
+func rankByWins(wins []int) []int {
+	order := make([]int, len(wins))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return wins[order[a]] > wins[order[b]]
+	})
+	return order
+}

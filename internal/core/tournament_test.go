@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTournamentOnPaperTables(t *testing.T) {
+	// T3a, T3b, T4 under coverage: the §5.2 chain — T3b beats T4 beats
+	// T3a.
+	vectors := []PropertyVector{sT3a, tT3b, sT4}
+	res, err := Tournament(vectors, CovBetter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wins[1] != 2 {
+		t.Errorf("T3b should win both matches, wins = %v", res.Wins)
+	}
+	if res.Wins[2] != 1 || res.Wins[0] != 0 {
+		t.Errorf("chain broken: wins = %v", res.Wins)
+	}
+	if res.Order[0] != 1 || res.Order[1] != 2 || res.Order[2] != 0 {
+		t.Errorf("order = %v, want [1 2 0]", res.Order)
+	}
+	// Under the classical min comparator T4 wins and T3a/T3b tie.
+	res, err = Tournament(vectors, MinBetter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Order[0] != 2 {
+		t.Errorf("min tournament should rank T4 first: %v", res.Order)
+	}
+	if res.Ties[0] != 1 || res.Ties[1] != 1 {
+		t.Errorf("T3a/T3b should tie under min: ties = %v", res.Ties)
+	}
+}
+
+func TestTournamentErrors(t *testing.T) {
+	if _, err := Tournament([]PropertyVector{sT3a}, CovBetter()); err == nil {
+		t.Error("single entrant should fail")
+	}
+	if _, err := Tournament([]PropertyVector{sT3a, tT3b}, nil); err == nil {
+		t.Error("nil comparator should fail")
+	}
+	if _, err := Tournament([]PropertyVector{sT3a, {1, 2}}, CovBetter()); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}
+
+func TestTournamentSets(t *testing.T) {
+	wtd, err := NewWTD([]float64{0.5, 0.5}, []BinaryIndex{PCov, PCov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := []PropertySet{
+		{sT3a, uT3a},
+		{tT3b, uT3b},
+	}
+	res, err := TournamentSets(sets, wtd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's §5.5 tie.
+	if res.Ties[0] != 1 || res.Ties[1] != 1 || res.Wins[0] != 0 || res.Wins[1] != 0 {
+		t.Errorf("expected the §5.5 tie: %+v", res)
+	}
+	if _, err := TournamentSets(sets[:1], wtd); err == nil {
+		t.Error("single entrant should fail")
+	}
+	if _, err := TournamentSets(sets, nil); err == nil {
+		t.Error("nil comparator should fail")
+	}
+}
+
+// Total matches are conserved: Σwins + Σties/2 = n(n-1)/2.
+func TestTournamentConservationQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(5) + 2
+		size := rng.Intn(4) + 1
+		vectors := make([]PropertyVector, n)
+		for i := range vectors {
+			v := make(PropertyVector, size)
+			for j := range v {
+				v[j] = float64(rng.Intn(6))
+			}
+			vectors[i] = v
+		}
+		res, err := Tournament(vectors, SprBetter())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins, ties := 0, 0
+		for i := range res.Wins {
+			wins += res.Wins[i]
+			ties += res.Ties[i]
+		}
+		if wins+ties/2 != n*(n-1)/2 {
+			t.Fatalf("conservation violated: wins=%d ties=%d n=%d", wins, ties, n)
+		}
+		if ties%2 != 0 {
+			t.Fatalf("odd total ties %d", ties)
+		}
+		// Order sorted by wins.
+		for i := 1; i < len(res.Order); i++ {
+			if res.Wins[res.Order[i-1]] < res.Wins[res.Order[i]] {
+				t.Fatal("order not sorted by wins")
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses a CSV stream whose header must match the schema's attribute
+// names in order. Numeric columns are parsed as floats; a bare "*" parses as
+// the suppressed value; "(lo,hi]" parses as an interval; a trailing run of
+// '*' after a non-empty prefix parses as a Prefix value. Everything else in a
+// categorical column is an exact string.
+func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.Len()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	for j, a := range schema.Attrs {
+		if strings.TrimSpace(header[j]) != a.Name {
+			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", j, header[j], a.Name)
+		}
+	}
+	t := NewTable(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		row := make([]Value, schema.Len())
+		for j, field := range rec {
+			v, err := ParseValue(strings.TrimSpace(field), schema.Attrs[j].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d, column %q: %w", line, schema.Attrs[j].Name, err)
+			}
+			row[j] = v
+		}
+		if err := t.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ParseValue parses one CSV field according to the attribute kind. See
+// ReadCSV for the accepted syntax.
+func ParseValue(s string, kind AttrKind) (Value, error) {
+	if s == "*" {
+		return StarVal(), nil
+	}
+	if s == "" || s == "?" {
+		return Value{}, fmt.Errorf("missing value %q", s)
+	}
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, "]") {
+		body := s[1 : len(s)-1]
+		parts := strings.SplitN(body, ",", 2)
+		if len(parts) != 2 {
+			return Value{}, fmt.Errorf("malformed interval %q", s)
+		}
+		lo, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		hi, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			return Value{}, fmt.Errorf("malformed interval %q", s)
+		}
+		if hi < lo {
+			return Value{}, fmt.Errorf("interval %q has hi < lo", s)
+		}
+		return IntervalVal(lo, hi), nil
+	}
+	if n := len(s) - len(strings.TrimRight(s, "*")); n > 0 {
+		prefix := s[:len(s)-n]
+		if prefix == "" {
+			return StarVal(), nil
+		}
+		return PrefixVal(prefix, n), nil
+	}
+	if kind == Numeric {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("malformed number %q", s)
+		}
+		return NumVal(f), nil
+	}
+	return StrVal(s), nil
+}
+
+// WriteCSV writes the table with a header row, rendering cells with
+// Value.String so that ReadCSV round-trips generalized values.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.Schema.Len())
+	for j, a := range t.Schema.Attrs {
+		header[j] = a.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	rec := make([]string, t.Schema.Len())
+	for _, row := range t.Rows {
+		for j, v := range row {
+			rec[j] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,285 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Role classifies how an attribute participates in disclosure control.
+type Role uint8
+
+const (
+	// Insensitive attributes are neither quasi-identifying nor sensitive.
+	Insensitive Role = iota
+	// QuasiIdentifier attributes can link a tuple to an external source
+	// and are the ones generalized by anonymization algorithms.
+	QuasiIdentifier
+	// Sensitive attributes carry the private information (disease,
+	// salary, marital status in the paper's running example).
+	Sensitive
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case Insensitive:
+		return "insensitive"
+	case QuasiIdentifier:
+		return "quasi-identifier"
+	case Sensitive:
+		return "sensitive"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// AttrKind is the ground domain of an attribute.
+type AttrKind uint8
+
+const (
+	// Categorical attributes hold string values generalized through a
+	// taxonomy (or by suppression).
+	Categorical AttrKind = iota
+	// Numeric attributes hold numbers generalized into intervals.
+	Numeric
+)
+
+// String returns the kind name.
+func (k AttrKind) String() string {
+	if k == Numeric {
+		return "numeric"
+	}
+	return "categorical"
+}
+
+// Attribute describes one column of a microdata table.
+type Attribute struct {
+	Name string
+	Kind AttrKind
+	Role Role
+}
+
+// Schema is an ordered list of attributes.
+type Schema struct {
+	Attrs []Attribute
+}
+
+// NewSchema builds a schema from the given attributes, rejecting duplicate
+// or empty names.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("dataset: attribute with empty name")
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("dataset: duplicate attribute %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return &Schema{Attrs: attrs}, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for fixtures and
+// tests where the schema is a literal.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.Attrs) }
+
+// Index returns the position of the named attribute, or -1.
+func (s *Schema) Index(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Attr returns the named attribute.
+func (s *Schema) Attr(name string) (Attribute, bool) {
+	if i := s.Index(name); i >= 0 {
+		return s.Attrs[i], true
+	}
+	return Attribute{}, false
+}
+
+// QuasiIdentifiers returns the indices of quasi-identifier attributes in
+// schema order.
+func (s *Schema) QuasiIdentifiers() []int {
+	var qi []int
+	for i, a := range s.Attrs {
+		if a.Role == QuasiIdentifier {
+			qi = append(qi, i)
+		}
+	}
+	return qi
+}
+
+// SensitiveIndex returns the index of the first sensitive attribute, or -1.
+func (s *Schema) SensitiveIndex() int {
+	for i, a := range s.Attrs {
+		if a.Role == Sensitive {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	attrs := make([]Attribute, len(s.Attrs))
+	copy(attrs, s.Attrs)
+	return &Schema{Attrs: attrs}
+}
+
+// Table is a microdata table: a schema plus N rows of cells. Tables are
+// mutable; anonymization algorithms operate on copies (see Clone) so the
+// original data set stays available for property measurement.
+type Table struct {
+	Schema *Schema
+	Rows   [][]Value
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{Schema: schema}
+}
+
+// Append adds a row after validating its width.
+func (t *Table) Append(row []Value) error {
+	if len(row) != t.Schema.Len() {
+		return fmt.Errorf("dataset: row has %d cells, schema has %d attributes", len(row), t.Schema.Len())
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// MustAppend is Append that panics on error, for fixtures.
+func (t *Table) MustAppend(row ...Value) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of rows (the paper's N).
+func (t *Table) Len() int { return len(t.Rows) }
+
+// At returns the cell at row i, column j.
+func (t *Table) At(i, j int) Value { return t.Rows[i][j] }
+
+// Column returns a copy of column j.
+func (t *Table) Column(j int) []Value {
+	col := make([]Value, len(t.Rows))
+	for i, r := range t.Rows {
+		col[i] = r[j]
+	}
+	return col
+}
+
+// ColumnByName returns a copy of the named column.
+func (t *Table) ColumnByName(name string) ([]Value, error) {
+	j := t.Schema.Index(name)
+	if j < 0 {
+		return nil, fmt.Errorf("dataset: no attribute %q", name)
+	}
+	return t.Column(j), nil
+}
+
+// Clone returns a deep copy of the table. Rows are copied; Values are
+// immutable so cells are shared structurally.
+func (t *Table) Clone() *Table {
+	rows := make([][]Value, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = make([]Value, len(r))
+		copy(rows[i], r)
+	}
+	return &Table{Schema: t.Schema.Clone(), Rows: rows}
+}
+
+// DistinctCount returns the number of distinct values (by Key) in column j.
+func (t *Table) DistinctCount(j int) int {
+	seen := make(map[string]struct{}, len(t.Rows))
+	for _, r := range t.Rows {
+		seen[r[j].Key()] = struct{}{}
+	}
+	return len(seen)
+}
+
+// NumericRange returns the min and max of a Numeric column over exact
+// values. Interval cells contribute their bounds. It returns ok=false if
+// the column holds no numeric information.
+func (t *Table) NumericRange(j int) (lo, hi float64, ok bool) {
+	first := true
+	for _, r := range t.Rows {
+		var l, h float64
+		switch r[j].Kind() {
+		case Num:
+			l, h = r[j].Float(), r[j].Float()
+		case Interval:
+			l, h = r[j].Bounds()
+		default:
+			continue
+		}
+		if first {
+			lo, hi, first = l, h, false
+			continue
+		}
+		if l < lo {
+			lo = l
+		}
+		if h > hi {
+			hi = h
+		}
+	}
+	return lo, hi, !first
+}
+
+// Format renders the table as an aligned text table in the style the paper
+// uses, with a row-index column when index is true.
+func (t *Table) Format(index bool) string {
+	var b strings.Builder
+	ncol := t.Schema.Len()
+	widths := make([]int, ncol)
+	header := make([]string, ncol)
+	for j, a := range t.Schema.Attrs {
+		header[j] = a.Name
+		widths[j] = len(a.Name)
+	}
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		cells[i] = make([]string, ncol)
+		for j, v := range r {
+			s := v.String()
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	idxW := len(fmt.Sprint(len(t.Rows)))
+	writeRow := func(idx string, row []string) {
+		if index {
+			fmt.Fprintf(&b, "%*s  ", idxW, idx)
+		}
+		for j, s := range row {
+			fmt.Fprintf(&b, "%-*s", widths[j], s)
+			if j < ncol-1 {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow("", header)
+	for i := range cells {
+		writeRow(fmt.Sprint(i+1), cells[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	v := NumVal(28)
+	if v.Kind() != Num || v.Float() != 28 {
+		t.Fatalf("NumVal: got kind %v value %v", v.Kind(), v.Float())
+	}
+	s := StrVal("Divorced")
+	if s.Kind() != Str || s.Text() != "Divorced" {
+		t.Fatalf("StrVal: got kind %v text %q", s.Kind(), s.Text())
+	}
+	iv := IntervalVal(25, 35)
+	lo, hi := iv.Bounds()
+	if iv.Kind() != Interval || lo != 25 || hi != 35 {
+		t.Fatalf("IntervalVal: got kind %v bounds (%v,%v]", iv.Kind(), lo, hi)
+	}
+	p := PrefixVal("1305", 1)
+	if p.Kind() != Prefix || p.Text() != "1305" || p.MaskedLen() != 1 {
+		t.Fatalf("PrefixVal: got %v %q %d", p.Kind(), p.Text(), p.MaskedLen())
+	}
+	g := SetVal("Married")
+	if g.Kind() != Set || g.Text() != "Married" {
+		t.Fatalf("SetVal: got %v %q", g.Kind(), g.Text())
+	}
+	st := StarVal()
+	if st.Kind() != Star || !st.IsSuppressed() {
+		t.Fatalf("StarVal: got %v", st.Kind())
+	}
+	var zero Value
+	if zero.Kind() != Missing {
+		t.Fatalf("zero Value should be Missing, got %v", zero.Kind())
+	}
+}
+
+func TestIntervalValSwapsReversedBounds(t *testing.T) {
+	iv := IntervalVal(35, 25)
+	lo, hi := iv.Bounds()
+	if lo != 25 || hi != 35 {
+		t.Fatalf("got (%v,%v], want (25,35]", lo, hi)
+	}
+}
+
+func TestPrefixValNegativeMaskClamped(t *testing.T) {
+	p := PrefixVal("13", -3)
+	if p.MaskedLen() != 0 {
+		t.Fatalf("got masked %d, want 0", p.MaskedLen())
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NumVal(28), "28"},
+		{NumVal(3.5), "3.5"},
+		{StrVal("CF-Spouse"), "CF-Spouse"},
+		{IntervalVal(25, 35), "(25,35]"},
+		{PrefixVal("1305", 1), "1305*"},
+		{PrefixVal("13", 3), "13***"},
+		{SetVal("Not Married"), "Not Married"},
+		{StarVal(), "*"},
+		{Value{}, "?"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestValueKeyDistinguishesKinds(t *testing.T) {
+	vals := []Value{
+		NumVal(5), StrVal("5"), SetVal("5"), PrefixVal("5", 0),
+		IntervalVal(5, 5), StarVal(), {},
+		NumVal(50), IntervalVal(5, 50), PrefixVal("5", 1),
+	}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision %q between %v and %v", k, prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func TestValueCovers(t *testing.T) {
+	cases := []struct {
+		g, v Value
+		want bool
+	}{
+		{NumVal(28), StarVal(), true},
+		{StrVal("x"), StarVal(), true},
+		{NumVal(28), IntervalVal(25, 35), true},
+		{NumVal(25), IntervalVal(25, 35), false}, // half-open: lo excluded
+		{NumVal(35), IntervalVal(25, 35), true},  // hi included
+		{NumVal(36), IntervalVal(25, 35), false},
+		{IntervalVal(26, 30), IntervalVal(25, 35), true},
+		{IntervalVal(20, 30), IntervalVal(25, 35), false},
+		{StrVal("13053"), PrefixVal("1305", 1), true},
+		{StrVal("13063"), PrefixVal("1305", 1), false},
+		{StrVal("130530"), PrefixVal("1305", 1), false}, // wrong length
+		{NumVal(13053), PrefixVal("1305", 1), true},     // numeric zip vs prefix
+		{PrefixVal("1305", 1), PrefixVal("130", 2), true},
+		{PrefixVal("130", 2), PrefixVal("1305", 1), false},
+		{StrVal("a"), StrVal("a"), true},
+		{StrVal("a"), StrVal("b"), false},
+		{SetVal("Married"), SetVal("Married"), true},
+		{StrVal("CF-Spouse"), SetVal("Married"), false}, // taxonomy coverage is package hierarchy's job
+	}
+	for _, c := range cases {
+		if got := c.v.Covers(c.g); got != c.want {
+			t.Errorf("%v.Covers(%v) = %v, want %v", c.v, c.g, got, c.want)
+		}
+	}
+}
+
+func TestValueCoversIsReflexiveForIntervalsQuick(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		iv := IntervalVal(a, b)
+		return iv.Covers(iv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStarCoversEverythingQuick(t *testing.T) {
+	f := func(n float64, s string) bool {
+		return StarVal().Covers(NumVal(n)) && StarVal().Covers(StrVal(s))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalCoverageTransitiveQuick(t *testing.T) {
+	// if big covers mid and mid covers x, then big covers x
+	f := func(a, b, c, d, x float64) bool {
+		for _, v := range []float64{a, b, c, d, x} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		big := IntervalVal(math.Min(a, c), math.Max(b, d))
+		mid := IntervalVal(c, d)
+		if !big.Covers(mid) {
+			return true
+		}
+		g := NumVal(x)
+		if !mid.Covers(g) {
+			return true
+		}
+		return big.Covers(g)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStringParsesBack(t *testing.T) {
+	// String() of generalized values must round-trip through ParseValue.
+	vals := []struct {
+		v    Value
+		kind AttrKind
+	}{
+		{NumVal(42), Numeric},
+		{IntervalVal(25, 35), Numeric},
+		{PrefixVal("1305", 1), Categorical},
+		{StarVal(), Categorical},
+		{StrVal("Divorced"), Categorical},
+	}
+	for _, c := range vals {
+		got, err := ParseValue(c.v.String(), c.kind)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", c.v.String(), err)
+		}
+		if !got.Equal(c.v) {
+			t.Errorf("round trip %v -> %q -> %v", c.v, c.v.String(), got)
+		}
+	}
+}
+
+func TestFloatPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StrVal("x").Float()
+}
+
+func TestBoundsPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NumVal(1).Bounds()
+}
+
+func TestTextPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NumVal(1).Text()
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[ValueKind]string{
+		Missing: "missing", Num: "num", Str: "str", Interval: "interval",
+		Prefix: "prefix", Set: "set", Star: "star", ValueKind(99): "ValueKind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("ValueKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if !strings.Contains(ValueKind(200).String(), "200") {
+		t.Error("unknown kind should include numeric code")
+	}
+}

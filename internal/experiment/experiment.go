@@ -1,0 +1,104 @@
+// Package experiment implements the reproduction harness: one experiment
+// per table, figure and worked example in the paper (E1–E13), plus the
+// scaled algorithm-comparison studies the framework was built for (E14,
+// E15). Each experiment writes a self-describing text report; the
+// anonbench command exposes them, and the test suite pins their numbers.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options tunes the scaled experiments; the zero value picks defaults
+// suitable for interactive runs.
+type Options struct {
+	// CensusN is the synthetic census size for E14/E15 (default 1000).
+	CensusN int
+	// Ks are the k values swept in E14 (default 2, 5, 10, 25, 50).
+	Ks []int
+	// Seed drives the census draw and stochastic algorithms (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CensusN <= 0 {
+		o.CensusN = 1000
+	}
+	if len(o.Ks) == 0 {
+		o.Ks = []int{2, 5, 10, 25, 50}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Experiment is one reproducible unit of the evaluation.
+type Experiment struct {
+	// ID is the experiment identifier from DESIGN.md ("E1".."E15").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Artifact names the paper artifact reproduced ("Table 2", ...).
+	Artifact string
+	// Run writes the report.
+	Run func(w io.Writer) error
+}
+
+// Registry returns all experiments, ordered by ID.
+func Registry(opts Options) []Experiment {
+	opts = opts.withDefaults()
+	exps := []Experiment{
+		e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(),
+		e9(), e10(), e11(), e12(), e13(),
+		e14(opts), e15(opts), e16(opts), e17(opts), e18(opts), e19(opts),
+	}
+	sort.Slice(exps, func(i, j int) bool { return idNum(exps[i].ID) < idNum(exps[j].ID) })
+	return exps
+}
+
+func idNum(id string) int {
+	n := 0
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// Find locates an experiment by ID.
+func Find(id string, opts Options) (Experiment, bool) {
+	for _, e := range Registry(opts) {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, opts Options) error {
+	for _, e := range Registry(opts) {
+		if err := runOne(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunByID executes one experiment.
+func RunByID(w io.Writer, id string, opts Options) error {
+	e, ok := Find(id, opts)
+	if !ok {
+		return fmt.Errorf("experiment: unknown id %q", id)
+	}
+	return runOne(w, e)
+}
+
+func runOne(w io.Writer, e Experiment) error {
+	fmt.Fprintf(w, "=== %s: %s (%s) ===\n", e.ID, e.Title, e.Artifact)
+	if err := e.Run(w); err != nil {
+		return fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

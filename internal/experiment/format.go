@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"microdata/internal/core"
+)
+
+// writeVector prints a labelled property vector in the paper's tuple order.
+func writeVector(w io.Writer, label string, v core.PropertyVector) {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = trim(x)
+	}
+	fmt.Fprintf(w, "%-28s (%s)\n", label, strings.Join(parts, ","))
+}
+
+// writeKV prints an aligned name/value line.
+func writeKV(w io.Writer, name string, value interface{}) {
+	fmt.Fprintf(w, "  %-36s %v\n", name, value)
+}
+
+func trim(x float64) string {
+	s := fmt.Sprintf("%.4f", x)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// matrix renders a square pairwise-comparison matrix with row/column
+// labels, cell width auto-sized.
+func matrix(w io.Writer, title string, labels []string, cell func(i, j int) string) {
+	fmt.Fprintf(w, "  %s\n", title)
+	width := 6
+	for _, l := range labels {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	for i := range labels {
+		for j := range labels {
+			if c := cell(i, j); len(c) > width {
+				width = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "  %*s", width+2, "")
+	for _, l := range labels {
+		fmt.Fprintf(w, " %*s", width, l)
+	}
+	fmt.Fprintln(w)
+	for i, l := range labels {
+		fmt.Fprintf(w, "  %*s |", width, l)
+		for j := range labels {
+			fmt.Fprintf(w, " %*s", width, cell(i, j))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// outcomeGlyph compresses an Outcome into matrix-cell form from the row
+// vector's perspective.
+func outcomeGlyph(o core.Outcome) string {
+	switch o {
+	case core.LeftBetter:
+		return "row"
+	case core.RightBetter:
+		return "col"
+	default:
+		return "tie"
+	}
+}

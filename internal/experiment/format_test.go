@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"microdata/internal/core"
+)
+
+func TestTrim(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		3.4:     "3.4",
+		0.3:     "0.3",
+		0.65:    "0.65",
+		56727:   "56727",
+		0:       "0",
+		-2.5:    "-2.5",
+		0.12345: "0.1235", // 4 decimal places, rounded
+	}
+	for in, want := range cases {
+		if got := trim(in); got != want {
+			t.Errorf("trim(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteVector(t *testing.T) {
+	var buf bytes.Buffer
+	writeVector(&buf, "label", core.PropertyVector{3, 3.4, 0.5})
+	out := buf.String()
+	if !strings.Contains(out, "label") || !strings.Contains(out, "(3,3.4,0.5)") {
+		t.Errorf("writeVector output: %q", out)
+	}
+}
+
+func TestWriteKV(t *testing.T) {
+	var buf bytes.Buffer
+	writeKV(&buf, "name", 42)
+	if !strings.Contains(buf.String(), "name") || !strings.Contains(buf.String(), "42") {
+		t.Errorf("writeKV output: %q", buf.String())
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	matrix(&buf, "title", []string{"aa", "b"}, func(i, j int) string {
+		if i == j {
+			return "."
+		}
+		return "x"
+	})
+	out := buf.String()
+	for _, want := range []string{"title", "aa", "b", ".", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Errorf("matrix has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestOutcomeGlyph(t *testing.T) {
+	if outcomeGlyph(core.LeftBetter) != "row" ||
+		outcomeGlyph(core.RightBetter) != "col" ||
+		outcomeGlyph(core.Tie) != "tie" {
+		t.Error("glyph mapping wrong")
+	}
+}
+
+func TestIDNum(t *testing.T) {
+	if idNum("E7") != 7 || idNum("E16") != 16 || idNum("bogus") != 0 {
+		t.Error("idNum mapping wrong")
+	}
+}

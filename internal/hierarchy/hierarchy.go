@@ -1,0 +1,133 @@
+// Package hierarchy implements generalization hierarchies for microdata
+// attributes: taxonomy trees for categorical values, anchored interval
+// ladders for numeric values, character-masking ladders for code-like
+// strings (zip codes), and the trivial suppression ladder.
+//
+// A hierarchy exposes a ladder of generalization levels. Level 0 is the
+// identity (the ground value); level MaxLevel() is the coarsest form, which
+// for every implementation here is the fully suppressed value "*" — matching
+// the paper's assumption that suppression is a special case of
+// generalization. Each level also carries an information loss in [0,1] per
+// Iyengar's general loss metric, used by package utility.
+package hierarchy
+
+import (
+	"fmt"
+
+	"microdata/internal/dataset"
+)
+
+// Hierarchy generalizes ground values of one attribute to any of its levels.
+type Hierarchy interface {
+	// Attribute returns the attribute name this hierarchy applies to.
+	Attribute() string
+	// MaxLevel returns the coarsest level; valid levels are 0..MaxLevel.
+	// Generalizing to MaxLevel yields the suppressed value.
+	MaxLevel() int
+	// Generalize maps a ground value to its generalized form at the given
+	// level. Level 0 returns the value unchanged. It returns an error if
+	// the level is out of range or the value is not part of the
+	// hierarchy's domain.
+	Generalize(v dataset.Value, level int) (dataset.Value, error)
+	// Loss returns the Iyengar general-loss-metric contribution in [0,1]
+	// of generalizing the ground value v to the given level: 0 for the
+	// exact value, 1 for full suppression.
+	Loss(v dataset.Value, level int) (float64, error)
+}
+
+// Set maps attribute names to their hierarchies and validates coverage of a
+// schema's quasi-identifiers.
+type Set map[string]Hierarchy
+
+// NewSet builds a Set and verifies each hierarchy names a distinct attribute.
+func NewSet(hs ...Hierarchy) (Set, error) {
+	s := make(Set, len(hs))
+	for _, h := range hs {
+		if _, dup := s[h.Attribute()]; dup {
+			return nil, fmt.Errorf("hierarchy: duplicate hierarchy for attribute %q", h.Attribute())
+		}
+		s[h.Attribute()] = h
+	}
+	return s, nil
+}
+
+// MustSet is NewSet that panics on error, for fixtures.
+func MustSet(hs ...Hierarchy) Set {
+	s, err := NewSet(hs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// CoverQI verifies the set has a hierarchy for every quasi-identifier of the
+// schema.
+func (s Set) CoverQI(schema *dataset.Schema) error {
+	for _, j := range schema.QuasiIdentifiers() {
+		name := schema.Attrs[j].Name
+		if _, ok := s[name]; !ok {
+			return fmt.Errorf("hierarchy: no hierarchy for quasi-identifier %q", name)
+		}
+	}
+	return nil
+}
+
+// MaxLevels returns the per-attribute maximum levels for the schema's
+// quasi-identifiers, in schema order. It is the shape of the generalization
+// lattice.
+func (s Set) MaxLevels(schema *dataset.Schema) ([]int, error) {
+	if err := s.CoverQI(schema); err != nil {
+		return nil, err
+	}
+	qi := schema.QuasiIdentifiers()
+	levels := make([]int, len(qi))
+	for i, j := range qi {
+		levels[i] = s[schema.Attrs[j].Name].MaxLevel()
+	}
+	return levels, nil
+}
+
+// GeneralizeTable applies per-attribute levels (aligned with the schema's
+// quasi-identifier order) to every row of the table, returning a new table.
+// Non-QI columns are copied unchanged; sensitive columns are never
+// generalized here.
+func GeneralizeTable(t *dataset.Table, s Set, levels []int) (*dataset.Table, error) {
+	qi := t.Schema.QuasiIdentifiers()
+	if len(levels) != len(qi) {
+		return nil, fmt.Errorf("hierarchy: %d levels for %d quasi-identifiers", len(levels), len(qi))
+	}
+	out := t.Clone()
+	for li, j := range qi {
+		h, ok := s[t.Schema.Attrs[j].Name]
+		if !ok {
+			return nil, fmt.Errorf("hierarchy: no hierarchy for quasi-identifier %q", t.Schema.Attrs[j].Name)
+		}
+		for i := range out.Rows {
+			g, err := h.Generalize(t.Rows[i][j], levels[li])
+			if err != nil {
+				return nil, fmt.Errorf("hierarchy: row %d attribute %q: %w", i, t.Schema.Attrs[j].Name, err)
+			}
+			out.Rows[i][j] = g
+		}
+	}
+	return out, nil
+}
+
+// SuppressRows replaces every quasi-identifier cell of the selected rows with
+// the suppressed value, in place. This is how algorithms realize tuple
+// suppression while keeping the table size constant (paper §3).
+func SuppressRows(t *dataset.Table, rows []int) {
+	qi := t.Schema.QuasiIdentifiers()
+	for _, i := range rows {
+		for _, j := range qi {
+			t.Rows[i][j] = dataset.StarVal()
+		}
+	}
+}
+
+func checkLevel(level, max int) error {
+	if level < 0 || level > max {
+		return fmt.Errorf("level %d out of range [0,%d]", level, max)
+	}
+	return nil
+}

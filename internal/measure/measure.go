@@ -1,0 +1,224 @@
+// Package measure turns anonymizations into the paper's r-property view
+// (Definition 2): a named catalogue of property extractors, each mapping an
+// anonymized table to one per-tuple property vector, plus helpers that
+// bundle several extractors into a core.PropertySet ready for the WTD, LEX
+// and GOAL multi-property comparators.
+//
+// Every extractor yields vectors under the paper's higher-is-better
+// convention — loss-like measurements are returned negated or inverted, so
+// a PropertySet mixes privacy and utility properties safely.
+package measure
+
+import (
+	"fmt"
+
+	"microdata/internal/core"
+	"microdata/internal/dataset"
+	"microdata/internal/eqclass"
+	"microdata/internal/hierarchy"
+	"microdata/internal/privacy"
+	"microdata/internal/utility"
+)
+
+// Context carries everything an extractor may need about one
+// anonymization of one original table.
+type Context struct {
+	// Orig is the original microdata table.
+	Orig *dataset.Table
+	// Anon is the anonymized table (same size, paper §3 convention).
+	Anon *dataset.Table
+	// Partition groups Anon into equivalence classes; NewContext computes
+	// it when nil.
+	Partition *eqclass.Partition
+	// Taxonomies feeds loss scoring of Set-generalized cells.
+	Taxonomies map[string]*hierarchy.Taxonomy
+}
+
+// NewContext validates and completes a measurement context.
+func NewContext(orig, anon *dataset.Table, taxonomies map[string]*hierarchy.Taxonomy) (*Context, error) {
+	if orig == nil || anon == nil {
+		return nil, fmt.Errorf("measure: nil table")
+	}
+	if orig.Len() != anon.Len() {
+		return nil, fmt.Errorf("measure: anonymized table has %d rows, original has %d (suppressed tuples must be kept)", anon.Len(), orig.Len())
+	}
+	if orig.Len() == 0 {
+		return nil, fmt.Errorf("measure: empty table")
+	}
+	p, err := eqclass.FromTable(anon)
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	return &Context{Orig: orig, Anon: anon, Partition: p, Taxonomies: taxonomies}, nil
+}
+
+func (c *Context) sensitive() ([]dataset.Value, error) {
+	si := c.Orig.Schema.SensitiveIndex()
+	if si < 0 {
+		return nil, fmt.Errorf("measure: schema has no sensitive attribute")
+	}
+	return c.Orig.Column(si), nil
+}
+
+// Property is one measurable per-tuple property of an anonymization.
+type Property struct {
+	// Name identifies the property in reports.
+	Name string
+	// Extract computes the property vector (higher is better).
+	Extract func(*Context) (core.PropertyVector, error)
+}
+
+// ClassSize is the paper's k-anonymity property: tuple i's equivalence
+// class size.
+func ClassSize() Property {
+	return Property{
+		Name: "class-size",
+		Extract: func(c *Context) (core.PropertyVector, error) {
+			return core.PropertyVector(c.Partition.SizeVector()), nil
+		},
+	}
+}
+
+// SensitiveCount is the paper's §3 ℓ-diversity property: how often tuple
+// i's sensitive value appears in its class. NOTE the orientation: the
+// paper treats higher counts as better representation; for attack
+// resistance, combine with BreachSafety below.
+func SensitiveCount() Property {
+	return Property{
+		Name: "sensitive-count",
+		Extract: func(c *Context) (core.PropertyVector, error) {
+			col, err := c.sensitive()
+			if err != nil {
+				return nil, err
+			}
+			v, err := c.Partition.SensitiveCountVector(col)
+			if err != nil {
+				return nil, err
+			}
+			return core.PropertyVector(v), nil
+		},
+	}
+}
+
+// DistinctSensitive counts distinct sensitive values in tuple i's class —
+// the per-tuple distinct ℓ-diversity property.
+func DistinctSensitive() Property {
+	return Property{
+		Name: "distinct-sensitive",
+		Extract: func(c *Context) (core.PropertyVector, error) {
+			col, err := c.sensitive()
+			if err != nil {
+				return nil, err
+			}
+			v, err := privacy.DistinctCountVector(c.Partition, col)
+			if err != nil {
+				return nil, err
+			}
+			return core.PropertyVector(v), nil
+		},
+	}
+}
+
+// BreachSafety is 1 − (frequency of tuple i's own sensitive value in its
+// class): the probability an in-class adversary guess is WRONG. Higher is
+// safer.
+func BreachSafety() Property {
+	return Property{
+		Name: "breach-safety",
+		Extract: func(c *Context) (core.PropertyVector, error) {
+			col, err := c.sensitive()
+			if err != nil {
+				return nil, err
+			}
+			probs, err := privacy.BreachProbabilityVector(c.Partition, col)
+			if err != nil {
+				return nil, err
+			}
+			out := make(core.PropertyVector, len(probs))
+			for i, p := range probs {
+				out[i] = 1 - p
+			}
+			return out, nil
+		},
+	}
+}
+
+// TClosenessSafety is 1 − the EMD between tuple i's class distribution and
+// the global sensitive distribution (equal-distance ground metric). Higher
+// means the class leaks less distributional information.
+func TClosenessSafety() Property {
+	return Property{
+		Name: "t-closeness-safety",
+		Extract: func(c *Context) (core.PropertyVector, error) {
+			col, err := c.sensitive()
+			if err != nil {
+				return nil, err
+			}
+			d, err := privacy.TClosenessVector(c.Partition, col, false)
+			if err != nil {
+				return nil, err
+			}
+			out := make(core.PropertyVector, len(d))
+			for i, x := range d {
+				out[i] = 1 - x
+			}
+			return out, nil
+		},
+	}
+}
+
+// RetainedInformation is the per-tuple utility property: #QI − Iyengar
+// loss, the paper's utility side of the §5.5 example.
+func RetainedInformation() Property {
+	return Property{
+		Name: "retained-information",
+		Extract: func(c *Context) (core.PropertyVector, error) {
+			u, err := utility.UtilityVector(c.Anon, c.Orig, utility.LossConfig{Taxonomies: c.Taxonomies})
+			if err != nil {
+				return nil, err
+			}
+			return core.PropertyVector(u), nil
+		},
+	}
+}
+
+// Discernibility is the NEGATED per-tuple discernibility penalty (class
+// size charged as cost): higher (less negative) is better utility.
+func Discernibility() Property {
+	return Property{
+		Name: "discernibility",
+		Extract: func(c *Context) (core.PropertyVector, error) {
+			v := utility.DiscernibilityVector(c.Partition)
+			return core.PropertyVector(v).Negate(), nil
+		},
+	}
+}
+
+// Measure evaluates the properties in order, producing the r-property set
+// of Definition 2.
+func Measure(c *Context, props ...Property) (core.PropertySet, error) {
+	if len(props) == 0 {
+		return nil, fmt.Errorf("measure: no properties requested")
+	}
+	set := make(core.PropertySet, len(props))
+	for i, p := range props {
+		v, err := p.Extract(c)
+		if err != nil {
+			return nil, fmt.Errorf("measure: property %q: %w", p.Name, err)
+		}
+		if err := v.Validate(); err != nil {
+			return nil, fmt.Errorf("measure: property %q: %w", p.Name, err)
+		}
+		set[i] = v
+	}
+	return set, nil
+}
+
+// Names lists the property names in order, for report headers.
+func Names(props ...Property) []string {
+	out := make([]string, len(props))
+	for i, p := range props {
+		out[i] = p.Name
+	}
+	return out
+}

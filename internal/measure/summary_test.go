@@ -1,0 +1,83 @@
+package measure
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"microdata/internal/paperdata"
+)
+
+func TestSummarizePaperT3a(t *testing.T) {
+	s, err := Summarize(ctx(t, paperdata.T3a()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != 10 || s.Classes != 3 || s.KAnonymity != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.DistinctL != 2 {
+		t.Errorf("distinct ℓ = %d, want 2", s.DistinctL)
+	}
+	if s.Discernibility != 34 { // 3²+3²+4²
+		t.Errorf("DM = %v, want 34", s.Discernibility)
+	}
+	if s.ClassSizeMin != 3 || s.ClassSizeMax != 4 || s.ClassSizeMedian != 3 {
+		t.Errorf("class-size sketch = %+v", s)
+	}
+	if s.ClassSizeGini <= 0 || s.ClassSizeGini >= 1 {
+		t.Errorf("Gini = %v", s.ClassSizeGini)
+	}
+	if s.LossMetric <= 0 || s.LossMetric >= 1 {
+		t.Errorf("LM = %v", s.LossMetric)
+	}
+}
+
+func TestSummaryJSONShape(t *testing.T) {
+	s, err := Summarize(ctx(t, paperdata.T3b()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"\"rows\":", "\"k_anonymity\":", "\"loss_metric\":",
+		"\"class_size_gini\":", "\"discernibility\":",
+	} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("JSON missing %s: %s", key, raw)
+		}
+	}
+	var back Summary
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.KAnonymity != s.KAnonymity || back.LossMetric != s.LossMetric {
+		t.Error("JSON round trip changed values")
+	}
+}
+
+func TestSummarizeWithoutSensitive(t *testing.T) {
+	// A sensitive-free schema yields a summary with the diversity fields
+	// zeroed but everything else intact.
+	orig := paperdata.T1()
+	orig.Schema.Attrs[2].Role = 0 // demote MaritalStatus to insensitive
+	anon := paperdata.T3a()
+	anon.Schema.Attrs[2].Role = 0
+	c, err := NewContext(orig, anon, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DistinctL != 0 || s.EntropyL != 0 || s.TCloseness != 0 {
+		t.Errorf("diversity fields should be zero: %+v", s)
+	}
+	if s.KAnonymity != 3 {
+		t.Errorf("k = %d", s.KAnonymity)
+	}
+}

@@ -1,0 +1,261 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"microdata/internal/dataset"
+	"microdata/internal/eqclass"
+)
+
+// Paper fixtures in T1's row order (0-based).
+func sensitiveT1() []dataset.Value {
+	names := []string{
+		"CF-Spouse", "Separated", "Never Married", "CF-Spouse", "Divorced",
+		"Spouse Absent", "Divorced", "Spouse Present", "Separated", "Separated",
+	}
+	col := make([]dataset.Value, len(names))
+	for i, n := range names {
+		col[i] = dataset.StrVal(n)
+	}
+	return col
+}
+
+func partT3a(t *testing.T) *eqclass.Partition {
+	t.Helper()
+	p, err := eqclass.FromGroups(10, [][]int{{0, 3, 7}, {1, 2, 8}, {4, 5, 6, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func partT3b(t *testing.T) *eqclass.Partition {
+	t.Helper()
+	p, err := eqclass.FromGroups(10, [][]int{{0, 3, 7}, {1, 2, 4, 5, 6, 8, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func partT4(t *testing.T) *eqclass.Partition {
+	t.Helper()
+	p, err := eqclass.FromGroups(10, [][]int{{0, 2, 3, 7}, {1, 4, 5, 6, 8, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestKAnonymityPaperTables(t *testing.T) {
+	if k := KAnonymity(partT3a(t)); k != 3 {
+		t.Errorf("k(T3a) = %d, want 3", k)
+	}
+	if k := KAnonymity(partT3b(t)); k != 3 {
+		t.Errorf("k(T3b) = %d, want 3", k)
+	}
+	if k := KAnonymity(partT4(t)); k != 4 {
+		t.Errorf("k(T4) = %d, want 4", k)
+	}
+	for _, tc := range []struct {
+		p    *eqclass.Partition
+		k    int
+		want bool
+	}{
+		{partT3a(t), 3, true},
+		{partT3a(t), 4, false},
+		{partT4(t), 4, true},
+	} {
+		got, err := IsKAnonymous(tc.p, tc.k)
+		if err != nil || got != tc.want {
+			t.Errorf("IsKAnonymous(k=%d) = %v, %v; want %v", tc.k, got, err, tc.want)
+		}
+	}
+	if _, err := IsKAnonymous(partT3a(t), 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	empty, _ := eqclass.FromGroups(0, nil)
+	if ok, _ := IsKAnonymous(empty, 2); ok {
+		t.Error("empty partition is not k-anonymous")
+	}
+}
+
+func TestClassSizeVectorFigure1(t *testing.T) {
+	want := map[string][]float64{
+		"T3a": {3, 3, 3, 3, 4, 4, 4, 3, 3, 4},
+		"T3b": {3, 7, 7, 3, 7, 7, 7, 3, 7, 7},
+		"T4":  {4, 6, 4, 4, 6, 6, 6, 4, 6, 6},
+	}
+	parts := map[string]*eqclass.Partition{"T3a": partT3a(t), "T3b": partT3b(t), "T4": partT4(t)}
+	for name, w := range want {
+		got := ClassSizeVector(parts[name])
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("%s class-size vector = %v, want %v (Figure 1)", name, got, w)
+			}
+		}
+	}
+}
+
+func TestDistinctLDiversity(t *testing.T) {
+	col := sensitiveT1()
+	l, err := DistinctLDiversity(partT3a(t), col)
+	if err != nil || l != 2 {
+		t.Errorf("distinct ℓ(T3a) = %d, %v; want 2", l, err)
+	}
+	ok, err := IsDistinctLDiverse(partT3a(t), col, 2)
+	if err != nil || !ok {
+		t.Errorf("T3a should be 2-diverse: %v, %v", ok, err)
+	}
+	ok, _ = IsDistinctLDiverse(partT3a(t), col, 3)
+	if ok {
+		t.Error("T3a is not 3-diverse")
+	}
+	if _, err := IsDistinctLDiverse(partT3a(t), col, 0); err == nil {
+		t.Error("l=0 should fail")
+	}
+	if _, err := DistinctLDiversity(partT3a(t), col[:3]); err == nil {
+		t.Error("short column should fail")
+	}
+	empty, _ := eqclass.FromGroups(0, nil)
+	if l, err := DistinctLDiversity(empty, nil); err != nil || l != 0 {
+		t.Errorf("empty distinct ℓ = %d, %v", l, err)
+	}
+	if ok, _ := IsDistinctLDiverse(empty, nil, 1); ok {
+		t.Error("empty partition is not diverse")
+	}
+}
+
+func TestSensitiveCountVectorPaper(t *testing.T) {
+	got, err := SensitiveCountVector(partT3a(t), sensitiveT1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 2, 1, 2, 2, 1, 2, 1, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sensitive-count vector = %v, want %v (paper §3)", got, want)
+		}
+	}
+}
+
+func TestEntropyLDiversity(t *testing.T) {
+	// A class with uniform sensitive values over 2 has entropy ℓ = 2.
+	p, _ := eqclass.FromGroups(4, [][]int{{0, 1}, {2, 3}})
+	col := []dataset.Value{
+		dataset.StrVal("a"), dataset.StrVal("b"),
+		dataset.StrVal("c"), dataset.StrVal("c"),
+	}
+	l, err := EntropyLDiversity(p, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-1) > 1e-9 {
+		t.Errorf("entropy ℓ = %v, want 1 (degenerate class {c,c})", l)
+	}
+	p2, _ := eqclass.FromGroups(4, [][]int{{0, 1}, {2, 3}})
+	col2 := []dataset.Value{
+		dataset.StrVal("a"), dataset.StrVal("b"),
+		dataset.StrVal("c"), dataset.StrVal("d"),
+	}
+	l2, _ := EntropyLDiversity(p2, col2)
+	if math.Abs(l2-2) > 1e-9 {
+		t.Errorf("entropy ℓ = %v, want 2", l2)
+	}
+	empty, _ := eqclass.FromGroups(0, nil)
+	if _, err := EntropyLDiversity(empty, nil); err == nil {
+		t.Error("empty partition should fail")
+	}
+	if _, err := EntropyLDiversity(p, col[:1]); err == nil {
+		t.Error("short column should fail")
+	}
+}
+
+func TestRecursiveCLDiversity(t *testing.T) {
+	// Frequencies 3,2,1 in one class: r1=3, l=2 tail = 2+1 = 3.
+	// c=1: 3 < 3 false. c=1.5: 3 < 4.5 true.
+	p, _ := eqclass.FromGroups(6, [][]int{{0, 1, 2, 3, 4, 5}})
+	col := []dataset.Value{
+		dataset.StrVal("a"), dataset.StrVal("a"), dataset.StrVal("a"),
+		dataset.StrVal("b"), dataset.StrVal("b"), dataset.StrVal("c"),
+	}
+	ok, err := RecursiveCLDiversity(p, col, 1.0, 2)
+	if err != nil || ok {
+		t.Errorf("(1,2)-diversity = %v, %v; want false", ok, err)
+	}
+	ok, err = RecursiveCLDiversity(p, col, 1.5, 2)
+	if err != nil || !ok {
+		t.Errorf("(1.5,2)-diversity = %v, %v; want true", ok, err)
+	}
+	// l beyond distinct count fails.
+	ok, err = RecursiveCLDiversity(p, col, 10, 4)
+	if err != nil || ok {
+		t.Errorf("(10,4)-diversity = %v, %v; want false", ok, err)
+	}
+	if _, err := RecursiveCLDiversity(p, col, 1, 0); err == nil {
+		t.Error("l=0 should fail")
+	}
+	if _, err := RecursiveCLDiversity(p, col, -1, 2); err == nil {
+		t.Error("negative c should fail")
+	}
+	if _, err := RecursiveCLDiversity(p, col, math.NaN(), 2); err == nil {
+		t.Error("NaN c should fail")
+	}
+	empty, _ := eqclass.FromGroups(0, nil)
+	if ok, err := RecursiveCLDiversity(empty, nil, 1, 1); err != nil || ok {
+		t.Errorf("empty partition: %v, %v", ok, err)
+	}
+}
+
+func TestDistinctCountVector(t *testing.T) {
+	got, err := DistinctCountVector(partT3a(t), sensitiveT1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classes: {0,3,7}: 2 distinct; {1,2,8}: 2; {4,5,6,9}: 3.
+	want := []float64{2, 2, 2, 2, 3, 3, 3, 2, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("distinct-count vector = %v, want %v", got, want)
+		}
+	}
+	if _, err := DistinctCountVector(partT3a(t), nil); err == nil {
+		t.Error("nil column should fail")
+	}
+}
+
+func TestReidentificationVectorPaperSection1(t *testing.T) {
+	// §1: in T3b tuples {2,3,5,6,7,9,10} have breach probability 1/7, the
+	// rest 1/3.
+	got := ReidentificationVector(partT3b(t))
+	for i, want := range []float64{1.0 / 3, 1.0 / 7, 1.0 / 7, 1.0 / 3, 1.0 / 7, 1.0 / 7, 1.0 / 7, 1.0 / 3, 1.0 / 7, 1.0 / 7} {
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Fatalf("reidentification vector = %v", got)
+		}
+	}
+	// §1: every tuple of a 3-anonymous table has at most 1/3 breach prob.
+	for _, v := range ReidentificationVector(partT3a(t)) {
+		if v > 1.0/3+1e-12 {
+			t.Errorf("T3a breach probability %v exceeds 1/3", v)
+		}
+	}
+}
+
+func TestBreachProbabilityVector(t *testing.T) {
+	got, err := BreachProbabilityVector(partT3a(t), sensitiveT1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tuple 0 (CF-Spouse in class {0,3,7} with counts CF-Spouse:2): 2/3.
+	if math.Abs(got[0]-2.0/3) > 1e-12 {
+		t.Errorf("breach[0] = %v, want 2/3", got[0])
+	}
+	// Tuple 7 (Spouse Present, count 1 in class of 3): 1/3.
+	if math.Abs(got[7]-1.0/3) > 1e-12 {
+		t.Errorf("breach[7] = %v, want 1/3", got[7])
+	}
+	if _, err := BreachProbabilityVector(partT3a(t), nil); err == nil {
+		t.Error("nil column should fail")
+	}
+}

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"microdata/internal/algorithm"
+	"microdata/internal/algorithm/datafly"
+	"microdata/internal/algorithm/mondrian"
+	"microdata/internal/dataset"
+	"microdata/internal/generator"
+	"microdata/internal/hierarchy"
+	"microdata/internal/paperdata"
+)
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	tab, err := generator.Generate(generator.Config{N: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs1, err := Generate(tab, Config{Queries: 50, Predicates: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs2, err := Generate(tab, Config{Queries: 50, Predicates: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs1) != 50 {
+		t.Fatalf("generated %d queries", len(qs1))
+	}
+	for i := range qs1 {
+		if len(qs1[i].Predicates) != 2 {
+			t.Fatalf("query %d has %d predicates", i, len(qs1[i].Predicates))
+		}
+		for j := range qs1[i].Predicates {
+			p1, p2 := qs1[i].Predicates[j], qs2[i].Predicates[j]
+			if p1.Attr != p2.Attr || p1.Lo != p2.Lo || p1.Hi != p2.Hi || len(p1.Values) != len(p2.Values) {
+				t.Fatal("workload not deterministic")
+			}
+		}
+	}
+	// Predicate count clamps to the QI width.
+	qs, err := Generate(tab, Config{Queries: 5, Predicates: 99, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs[0].Predicates) != len(tab.Schema.QuasiIdentifiers()) {
+		t.Errorf("predicates not clamped: %d", len(qs[0].Predicates))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(nil, Config{}); err == nil {
+		t.Error("nil table should fail")
+	}
+	empty := dataset.NewTable(paperdata.Schema())
+	if _, err := Generate(empty, Config{}); err == nil {
+		t.Error("empty table should fail")
+	}
+	noQI := dataset.NewTable(dataset.MustSchema(dataset.Attribute{Name: "A", Role: dataset.Sensitive}))
+	noQI.MustAppend(dataset.StrVal("x"))
+	if _, err := Generate(noQI, Config{}); err == nil {
+		t.Error("no-QI table should fail")
+	}
+}
+
+func TestTrueCountOnPaperTable(t *testing.T) {
+	orig := paperdata.T1()
+	// Ages 35..50 inclusive: 41, 39, 50, 49, 42, 47 -> 6 tuples.
+	q := Query{Predicates: []Predicate{{Attr: "Age", Lo: 35, Hi: 50}}}
+	got, err := TrueCount(orig, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Errorf("true count = %v, want 6", got)
+	}
+	// Conjunction: zip in {13250,13253} AND age 45..55 -> tuples 5,6,7,10.
+	q2 := Query{Predicates: []Predicate{
+		{Attr: "ZipCode", Values: []string{"13250", "13253"}},
+		{Attr: "Age", Lo: 45, Hi: 55},
+	}}
+	got, err = TrueCount(orig, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("conjunctive true count = %v, want 4", got)
+	}
+	bad := Query{Predicates: []Predicate{{Attr: "Nope", Lo: 0, Hi: 1}}}
+	if _, err := TrueCount(orig, bad); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestEstimateOnIdentityIsExact(t *testing.T) {
+	orig := paperdata.T1()
+	queries, err := Generate(orig, Config{Queries: 40, Predicates: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(orig, orig, queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanAbsError != 0 || rep.MedianAbsError != 0 || rep.MeanRelError != 0 {
+		t.Errorf("identity anonymization should answer exactly: %+v", rep)
+	}
+}
+
+func testEstimator(t *testing.T) *Estimator {
+	t.Helper()
+	e, err := NewEstimator(paperdata.T1(), map[string]*hierarchy.Taxonomy{"MaritalStatus": paperdata.MaritalTaxonomy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestIntervalSelectivityUniformity(t *testing.T) {
+	e := testEstimator(t)
+	// A record generalized to (20,40] contributes 0.5 to a query over
+	// 20..30 (half the region).
+	got, err := e.numericSelectivity(dataset.IntervalVal(20, 40), Predicate{Attr: "Age", Lo: 20, Hi: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("selectivity = %v, want 0.5", got)
+	}
+	// Disjoint region contributes 0.
+	got, _ = e.numericSelectivity(dataset.IntervalVal(20, 40), Predicate{Attr: "Age", Lo: 50, Hi: 60})
+	if got != 0 {
+		t.Errorf("disjoint selectivity = %v", got)
+	}
+	// Star spreads over the observed domain (T1 ages 26..55): a query
+	// covering the whole domain gets 1, half of it ~0.5.
+	got, _ = e.numericSelectivity(dataset.StarVal(), Predicate{Attr: "Age", Lo: 0, Hi: 100})
+	if got != 1 {
+		t.Errorf("star full-domain selectivity = %v, want 1", got)
+	}
+	got, _ = e.numericSelectivity(dataset.StarVal(), Predicate{Attr: "Age", Lo: 26, Hi: 40.5})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("star half-domain selectivity = %v, want 0.5", got)
+	}
+	// Degenerate single-point interval.
+	got, _ = e.numericSelectivity(dataset.IntervalVal(30, 30), Predicate{Attr: "Age", Lo: 20, Hi: 40})
+	if got != 1 {
+		t.Errorf("degenerate interval selectivity = %v", got)
+	}
+}
+
+func TestSetSelectivityUsesTaxonomy(t *testing.T) {
+	e := testEstimator(t)
+	// "Not Married" covers 4 leaves; predicate lists 2 of them -> 0.5.
+	got, err := e.categoricalSelectivity(dataset.SetVal("Not Married"),
+		Predicate{Attr: "MaritalStatus", Values: []string{"Divorced", "Separated"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Errorf("set selectivity = %v, want 0.5", got)
+	}
+	if _, err := e.categoricalSelectivity(dataset.SetVal("Married"), Predicate{Attr: "ZipCode", Values: []string{"x"}}); err == nil {
+		t.Error("set without taxonomy should fail")
+	}
+	if _, err := e.categoricalSelectivity(dataset.SetVal("Bogus"), Predicate{Attr: "MaritalStatus", Values: []string{"x"}}); err == nil {
+		t.Error("unknown set label should fail")
+	}
+	// Star with a taxonomy spreads over its 6 leaves.
+	got, err = e.categoricalSelectivity(dataset.StarVal(), Predicate{Attr: "MaritalStatus", Values: []string{"Divorced", "Separated", "CF-Spouse"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("star taxonomy selectivity = %v, want 0.5", got)
+	}
+	// Star without a taxonomy spreads over the observed domain values
+	// (T1 has 6 distinct zips; 3 listed -> 0.5).
+	got, err = e.categoricalSelectivity(dataset.StarVal(), Predicate{Attr: "ZipCode", Values: []string{"13053", "13268", "13253"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("star domain selectivity = %v, want 0.5", got)
+	}
+}
+
+func TestPrefixSelectivity(t *testing.T) {
+	e := testEstimator(t)
+	// 1305* covers a region of 10 codes; one listed value inside -> 0.1.
+	got, err := e.categoricalSelectivity(dataset.PrefixVal("1305", 1),
+		Predicate{Attr: "ZipCode", Values: []string{"13053", "99999"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("prefix selectivity = %v, want 0.1", got)
+	}
+	got, _ = e.categoricalSelectivity(dataset.PrefixVal("1305", 1), Predicate{Attr: "ZipCode", Values: []string{"99999"}})
+	if got != 0 {
+		t.Errorf("non-matching prefix selectivity = %v", got)
+	}
+}
+
+func TestMondrianBeatsGlobalRecodingOnWorkload(t *testing.T) {
+	// The LeFevre motivation, reproduced: multidimensional local recoding
+	// answers multi-attribute range counts more accurately than single-
+	// node global recoding at the same k.
+	tab, err := generator.Generate(generator.Config{N: 600, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := algorithm.Config{
+		K: 10, Hierarchies: generator.Hierarchies(),
+		MaxSuppression: 0.05, Taxonomies: generator.Taxonomies(),
+	}
+	mond, err := mondrian.New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glob, err := datafly.New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := Generate(tab, Config{Queries: 80, Predicates: 2, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repM, err := Evaluate(tab, mond.Table, queries, generator.Taxonomies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repG, err := Evaluate(tab, glob.Table, queries, generator.Taxonomies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mean abs error: mondrian %.2f vs datafly %.2f", repM.MeanAbsError, repG.MeanAbsError)
+	if repM.MeanAbsError >= repG.MeanAbsError {
+		t.Errorf("mondrian error %v should beat global recoding %v (LeFevre shape)", repM.MeanAbsError, repG.MeanAbsError)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	orig := paperdata.T1()
+	if _, err := Evaluate(orig, orig, nil, nil); err == nil {
+		t.Error("empty workload should fail")
+	}
+	short := paperdata.T1()
+	short.Rows = short.Rows[:4]
+	qs, _ := Generate(orig, Config{Queries: 3, Seed: 1})
+	if _, err := Evaluate(orig, short, qs, nil); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}
