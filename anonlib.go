@@ -57,6 +57,7 @@ import (
 	"microdata/internal/attack"
 	"microdata/internal/core"
 	"microdata/internal/dataset"
+	"microdata/internal/engine"
 	"microdata/internal/eqclass"
 	"microdata/internal/experiment"
 	"microdata/internal/generator"
@@ -309,6 +310,37 @@ const (
 
 // ResultCost scores a finished result under a config's metric.
 var ResultCost = algorithm.ResultCost
+
+// Shared lattice-node evaluation engine. Global-recoding algorithms
+// evaluate lattice nodes through one Engine per search: generalization
+// maps are precomputed once, evaluations are memoized in a bounded LRU
+// cache, batches run on a worker pool, and everything honors a
+// context.Context.
+type (
+	// Engine evaluates lattice nodes for one (table, config) pair.
+	Engine = engine.Engine
+	// EngineOption customizes an engine (cache size, worker count).
+	EngineOption = engine.Option
+	// EngineEvaluation is one memoized node evaluation (partition,
+	// constraint verdict, lazily computed cost).
+	EngineEvaluation = engine.Evaluation
+	// EngineStats is a snapshot of the engine's evaluation counters.
+	EngineStats = engine.Stats
+	// EngineCanceled reports a cancelled search; it wraps the context's
+	// error and carries the partial EngineStats.
+	EngineCanceled = engine.Canceled
+	// ContextAlgorithm is implemented by algorithms whose searches honor
+	// a cancellation context.
+	ContextAlgorithm = algorithm.ContextAlgorithm
+)
+
+// Engine constructors and the context-aware anonymization entry point.
+var (
+	NewEngine           = engine.New
+	WithEngineCacheSize = engine.WithCacheSize
+	WithEngineWorkers   = engine.WithWorkers
+	AnonymizeContext    = algorithm.AnonymizeContext
+)
 
 // Multi-objective exploration (the paper's §7 proposed extension).
 type (

@@ -7,6 +7,7 @@
 //	anonbench -list
 //	anonbench -run E4
 //	anonbench -run all -n 5000 -ks 2,5,10,25,50 -seed 7
+//	anonbench -enginestats -n 10000 -ks 5
 package main
 
 import (
@@ -21,11 +22,12 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list experiments and exit")
-		run  = flag.String("run", "all", "experiment id (E1..E15) or \"all\"")
-		n    = flag.Int("n", 1000, "synthetic census size for E14/E15")
-		ks   = flag.String("ks", "2,5,10,25,50", "comma-separated k sweep for E14/E15")
-		seed = flag.Int64("seed", 1, "seed for the census draw and stochastic algorithms")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "all", "experiment id (E1..E15) or \"all\"")
+		n       = flag.Int("n", 1000, "synthetic census size for E14/E15")
+		ks      = flag.String("ks", "2,5,10,25,50", "comma-separated k sweep for E14/E15")
+		seed    = flag.Int64("seed", 1, "seed for the census draw and stochastic algorithms")
+		engStat = flag.Bool("enginestats", false, "run every algorithm once on the census draw (first k of -ks) and print the evaluation-engine counters")
 	)
 	flag.Parse()
 
@@ -35,6 +37,14 @@ func main() {
 		os.Exit(2)
 	}
 	opts := microdata.ExperimentOptions{CensusN: *n, Ks: kVals, Seed: *seed}
+
+	if *engStat {
+		if err := engineStats(os.Stdout, *n, kVals[0], *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "anonbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("Experiments (see DESIGN.md for the per-experiment index):")
@@ -53,6 +63,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "anonbench:", err)
 		os.Exit(1)
 	}
+}
+
+// engineStats runs every registered algorithm once on a synthetic census
+// draw and prints the shared evaluation engine's counters from
+// Result.Stats: nodes evaluated, cache hits/misses, rows scanned, and the
+// precompute/evaluation wall time. Algorithms that never touch the lattice
+// (the local-recoding ones) report no engine_* counters and are marked so.
+func engineStats(w *os.File, n, k int, seed int64) error {
+	tab, err := microdata.Generate(microdata.GeneratorConfig{N: n, Seed: seed})
+	if err != nil {
+		return err
+	}
+	cfg := microdata.AlgorithmConfig{
+		K:              k,
+		Hierarchies:    microdata.CensusHierarchies(),
+		Taxonomies:     microdata.CensusTaxonomies(),
+		MaxSuppression: 0.05,
+		Metric:         microdata.MetricLM,
+		Seed:           seed,
+	}
+	fmt.Fprintf(w, "evaluation-engine counters (census N=%d, k=%d, seed=%d)\n", n, k, seed)
+	fmt.Fprintf(w, "%-20s %10s %10s %10s %12s %8s %8s\n",
+		"algorithm", "evaluated", "hits", "misses", "rows", "pre-ms", "eval-ms")
+	for _, name := range microdata.AlgorithmNames() {
+		alg, err := microdata.NewAlgorithm(name)
+		if err != nil {
+			return err
+		}
+		r, err := alg.Anonymize(tab, cfg)
+		if err != nil {
+			return err
+		}
+		if _, ok := r.Stats["engine_nodes_evaluated"]; !ok {
+			fmt.Fprintf(w, "%-20s %s\n", name, "(local recoding: no engine)")
+			continue
+		}
+		fmt.Fprintf(w, "%-20s %10.0f %10.0f %10.0f %12.0f %8.1f %8.1f\n", name,
+			r.Stats["engine_nodes_evaluated"], r.Stats["engine_cache_hits"],
+			r.Stats["engine_cache_misses"], r.Stats["engine_rows_scanned"],
+			r.Stats["engine_precompute_ms"], r.Stats["engine_eval_ms"])
+	}
+	return nil
 }
 
 func parseKs(s string) ([]int, error) {

@@ -6,6 +6,7 @@
 package algorithm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -91,6 +92,10 @@ func (c Config) hasDiversityConstraints() bool {
 		(c.RecursiveC > 0 && c.RecursiveL > 0)
 }
 
+// Budget returns the number of rows the configuration allows suppressing in
+// a table of n rows.
+func (c Config) Budget(n int) int { return int(c.MaxSuppression * float64(n)) }
+
 // Validate rejects unusable configurations for the given table.
 func (c Config) Validate(t *dataset.Table) error {
 	if t == nil || t.Len() == 0 {
@@ -160,6 +165,29 @@ type Algorithm interface {
 	Anonymize(t *dataset.Table, cfg Config) (*Result, error)
 }
 
+// ContextAlgorithm is implemented by algorithms whose searches honor a
+// context: cancelling the context aborts the search promptly with an error
+// wrapping context.Canceled (the engine attaches its partial counters, see
+// package engine).
+type ContextAlgorithm interface {
+	Algorithm
+	// AnonymizeContext is Anonymize under a cancellable context.
+	AnonymizeContext(ctx context.Context, t *dataset.Table, cfg Config) (*Result, error)
+}
+
+// AnonymizeContext runs the algorithm under ctx when it supports
+// cancellation and falls back to the plain entry point otherwise (after a
+// single upfront cancellation check).
+func AnonymizeContext(ctx context.Context, alg Algorithm, t *dataset.Table, cfg Config) (*Result, error) {
+	if ca, ok := alg.(ContextAlgorithm); ok {
+		return ca.AnonymizeContext(ctx, t, cfg)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("algorithm: %s not started: %w", alg.Name(), err)
+	}
+	return alg.Anonymize(t, cfg)
+}
+
 // isStarClass reports whether the class's quasi-identifiers are fully
 // suppressed (the paper-§3 unlinkable class).
 func isStarClass(t *dataset.Table, rows []int, qi []int) bool {
@@ -201,7 +229,7 @@ func SatisfiesConstraints(p *eqclass.Partition, t *dataset.Table, cfg Config) (b
 	if !cfg.hasDiversityConstraints() {
 		return true, nil
 	}
-	bad, err := violatingClasses(p, t, cfg)
+	bad, err := ViolatingClasses(p, t, cfg)
 	if err != nil {
 		return false, err
 	}
@@ -214,9 +242,13 @@ func SatisfiesConstraints(p *eqclass.Partition, t *dataset.Table, cfg Config) (b
 	return true, nil
 }
 
-// violatingClasses marks, per class, whether any constraint (k, ℓ, t)
-// fails. The star-class exemption is NOT applied here; callers decide.
-func violatingClasses(p *eqclass.Partition, t *dataset.Table, cfg Config) ([]bool, error) {
+// ViolatingClasses marks, per class, whether any constraint (k, ℓ, t)
+// fails. The star-class exemption is NOT applied here; callers decide. The
+// table supplies only the sensitive column, which generalization never
+// touches, so the original and any generalized copy are interchangeable —
+// package engine relies on that to validate constraints without ever
+// materializing the generalized table.
+func ViolatingClasses(p *eqclass.Partition, t *dataset.Table, cfg Config) ([]bool, error) {
 	bad := make([]bool, p.NumClasses())
 	for ci, rows := range p.Classes {
 		if len(rows) < cfg.K {
@@ -327,7 +359,7 @@ func ApplyNode(t *dataset.Table, cfg Config, node lattice.Node) (*dataset.Table,
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	bad, err := violatingClasses(p, anon, cfg)
+	bad, err := ViolatingClasses(p, anon, cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -350,7 +382,7 @@ func FinishGlobal(name string, t *dataset.Table, cfg Config, node lattice.Node, 
 	if err != nil {
 		return nil, err
 	}
-	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	budget := cfg.Budget(t.Len())
 	if len(small) > budget {
 		return nil, fmt.Errorf("algorithm: node %v needs %d suppressions, budget is %d", node, len(small), budget)
 	}
@@ -388,7 +420,7 @@ func NodeCost(t *dataset.Table, cfg Config, node lattice.Node) (float64, error) 
 	if err != nil {
 		return 0, err
 	}
-	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	budget := cfg.Budget(t.Len())
 	if len(small) > budget {
 		return math.Inf(1), nil
 	}

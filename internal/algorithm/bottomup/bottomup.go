@@ -10,14 +10,19 @@
 // top-down specialization (which walks the lattice in the opposite
 // direction): bottom-up climbs are guided by the marginal trade-off, so it
 // often lands on cheaper nodes than Datafly at equal k.
+//
+// Each step's candidate climbs are batch-evaluated in parallel on the
+// shared evaluation engine.
 package bottomup
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"microdata/internal/algorithm"
 	"microdata/internal/dataset"
+	"microdata/internal/engine"
 	"microdata/internal/lattice"
 )
 
@@ -32,39 +37,40 @@ func (*BottomUp) Name() string { return "bottomup" }
 
 // Anonymize implements algorithm.Algorithm.
 func (bu *BottomUp) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	if err := cfg.Validate(t); err != nil {
-		return nil, fmt.Errorf("bottomup: %w", err)
-	}
-	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	return bu.AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext implements algorithm.ContextAlgorithm; the climb aborts
+// with the context's error as soon as cancellation is seen.
+func (bu *BottomUp) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	eng, err := engine.New(t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("bottomup: %w", err)
 	}
-	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	maxLevels := eng.Lattice().MaxLevels()
+	budget := eng.Budget()
 	node := make(lattice.Node, len(maxLevels))
 
-	// probe evaluates a node, returning its violating rows, its anonymity
-	// deficit (the total number of missing tuples across undersized
-	// classes — Wang et al.'s "privacy gain" is the reduction of this),
-	// and its per-level loss sum (the "information loss" side; cheaper to
-	// compute than the full metric and monotone in it for every ladder).
-	probe := func(n lattice.Node) (small []int, deficit int, err error) {
-		_, p, small, err := algorithm.ApplyNode(t, cfg, n)
-		if err != nil {
-			return nil, 0, err
-		}
-		for _, rows := range p.Classes {
+	// probe reads a node's violating rows and its anonymity deficit (the
+	// total number of missing tuples across undersized classes — Wang et
+	// al.'s "privacy gain" is the reduction of this) off an engine
+	// evaluation.
+	probe := func(ev *engine.Evaluation) (small []int, deficit int) {
+		for _, rows := range ev.Partition.Classes {
 			if len(rows) < cfg.K {
 				deficit += cfg.K - len(rows)
 			}
 		}
-		return small, deficit, nil
+		return ev.Bad, deficit
 	}
+	// lossOf is the "information loss" side of the score: the per-level
+	// loss sum of generalizing the first row's values — cheaper to compute
+	// than the full metric and monotone in it for every ladder.
 	lossOf := func(n lattice.Node) (float64, error) {
 		qi := t.Schema.QuasiIdentifiers()
 		total := 0.0
 		for li, j := range qi {
 			h := cfg.Hierarchies[t.Schema.Attrs[j].Name]
-			// Representative loss: generalizing the first row's value.
 			l, err := h.Loss(t.At(0, j), n[li])
 			if err != nil {
 				return 0, err
@@ -74,10 +80,11 @@ func (bu *BottomUp) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorith
 		return total, nil
 	}
 
-	small, deficit, err := probe(node)
+	ev, err := eng.Evaluate(ctx, node)
 	if err != nil {
 		return nil, fmt.Errorf("bottomup: %w", err)
 	}
+	small, deficit := probe(ev)
 	loss, err := lossOf(node)
 	if err != nil {
 		return nil, fmt.Errorf("bottomup: %w", err)
@@ -85,25 +92,35 @@ func (bu *BottomUp) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorith
 	steps := 0
 	for len(small) > budget {
 		// Score each one-level climb by privacy gain (deficit reduction
-		// plus violating-row reduction) per unit of information lost.
+		// plus violating-row reduction) per unit of information lost. The
+		// candidate climbs are evaluated as one parallel batch.
+		var idxs []int
+		var cands []lattice.Node
+		for i := range node {
+			if node[i] >= maxLevels[i] {
+				continue
+			}
+			c := node.Clone()
+			c[i]++
+			idxs = append(idxs, i)
+			cands = append(cands, c)
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("bottomup: constraints unreachable at full generalization with suppression budget %d", budget)
+		}
+		evs, err := eng.EvaluateAll(ctx, cands)
+		if err != nil {
+			return nil, fmt.Errorf("bottomup: %w", err)
+		}
 		bestIdx := -1
 		bestScore := math.Inf(-1)
 		var bestSmall []int
 		bestDeficit := 0
 		bestLoss := 0.0
-		for i := range node {
-			if node[i] >= maxLevels[i] {
-				continue
-			}
-			node[i]++
-			s, d, err := probe(node)
+		for ci, cev := range evs {
+			s, d := probe(cev)
+			l, err := lossOf(cands[ci])
 			if err != nil {
-				node[i]--
-				return nil, fmt.Errorf("bottomup: %w", err)
-			}
-			l, err := lossOf(node)
-			if err != nil {
-				node[i]--
 				return nil, fmt.Errorf("bottomup: %w", err)
 			}
 			gain := float64(deficit-d) + float64(len(small)-len(s))
@@ -113,19 +130,17 @@ func (bu *BottomUp) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorith
 			}
 			score := gain / dl
 			if score > bestScore {
-				bestIdx, bestScore = i, score
+				bestIdx, bestScore = idxs[ci], score
 				bestSmall, bestDeficit, bestLoss = s, d, l
 			}
-			node[i]--
-		}
-		if bestIdx < 0 {
-			return nil, fmt.Errorf("bottomup: constraints unreachable at full generalization with suppression budget %d", budget)
 		}
 		node[bestIdx]++
 		small, deficit, loss = bestSmall, bestDeficit, bestLoss
 		steps++
 	}
-	return algorithm.FinishGlobal(bu.Name(), t, cfg, node, map[string]float64{
+	stats := map[string]float64{
 		"generalization_steps": float64(steps),
-	})
+	}
+	eng.Stats().MergeInto(stats)
+	return algorithm.FinishGlobal(bu.Name(), t, cfg, node, stats)
 }

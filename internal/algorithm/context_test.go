@@ -1,0 +1,101 @@
+package algorithm_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"microdata/internal/algorithm"
+	"microdata/internal/algorithm/algtest"
+	"microdata/internal/algorithm/mondrian"
+	"microdata/internal/algorithm/optimal"
+	"microdata/internal/algorithm/samarati"
+	"microdata/internal/engine"
+)
+
+// TestAnonymizeContextCancellation pins the satellite requirement: a
+// context cancelled mid-search makes a ContextAlgorithm return promptly
+// with an error wrapping context.Canceled that still carries the partial
+// engine counters.
+func TestAnonymizeContextCancellation(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(150, 4, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range []algorithm.Algorithm{optimal.New(), samarati.New()} {
+		_, err := algorithm.AnonymizeContext(ctx, alg, tab, cfg)
+		if err == nil {
+			t.Fatalf("%s: cancelled search must fail", alg.Name())
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: error %v does not wrap context.Canceled", alg.Name(), err)
+		}
+		var canceled *engine.Canceled
+		if !errors.As(err, &canceled) {
+			t.Fatalf("%s: error %T carries no partial engine stats", alg.Name(), err)
+		}
+	}
+}
+
+// TestAnonymizeContextCompletesUncancelled checks the context entry point
+// returns the same result as the plain one when never cancelled.
+func TestAnonymizeContextCompletesUncancelled(t *testing.T) {
+	tab, cfg := algtest.PaperConfig(3)
+	plain, err := optimal.New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCtx, err := algorithm.AnonymizeContext(context.Background(), optimal.New(), tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Levels.Equal(viaCtx.Levels) {
+		t.Fatalf("context path picked %v, plain path %v", viaCtx.Levels, plain.Levels)
+	}
+}
+
+// TestAnonymizeContextFallback: algorithms without a context entry point
+// still run to completion under a live context, and refuse to start under
+// a cancelled one.
+func TestAnonymizeContextFallback(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(60, 3, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg := mondrian.New() // local recoding: no engine, no context support
+	if _, ok := interface{}(alg).(algorithm.ContextAlgorithm); ok {
+		t.Fatal("test premise broken: mondrian now implements ContextAlgorithm; pick another fallback algorithm")
+	}
+	if _, err := algorithm.AnonymizeContext(context.Background(), alg, tab, cfg); err != nil {
+		t.Fatalf("fallback run failed: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := algorithm.AnonymizeContext(ctx, alg, tab, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fallback returned %v, want context.Canceled wrap", err)
+	}
+}
+
+// TestEngineStatsSurfaceInResults checks every engine-backed algorithm
+// reports the engine_* counters through Result.Stats.
+func TestEngineStatsSurfaceInResults(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(100, 3, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := optimal.New().Anonymize(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"engine_nodes_evaluated", "engine_cache_hits", "engine_cache_misses", "engine_rows_scanned"} {
+		if _, ok := r.Stats[key]; !ok {
+			t.Errorf("Result.Stats missing %q: %v", key, r.Stats)
+		}
+	}
+	if r.Stats["engine_nodes_evaluated"] != r.Stats["nodes_evaluated"] {
+		t.Errorf("engine count %v != reported nodes_evaluated %v",
+			r.Stats["engine_nodes_evaluated"], r.Stats["nodes_evaluated"])
+	}
+}

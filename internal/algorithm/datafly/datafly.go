@@ -6,14 +6,20 @@
 // Datafly is a greedy global-recoding algorithm: fast, but its
 // most-distinct-first rule often over-generalizes — one of the behaviours
 // the paper's comparison framework is designed to expose.
+//
+// The greedy walk runs on the shared evaluation engine: each step checks
+// the current node from precomputed signature fragments and reads the
+// per-attribute distinct counts straight off the fragment tables, so no
+// intermediate generalized table is ever materialized.
 package datafly
 
 import (
+	"context"
 	"fmt"
 
 	"microdata/internal/algorithm"
 	"microdata/internal/dataset"
-	"microdata/internal/hierarchy"
+	"microdata/internal/engine"
 	"microdata/internal/lattice"
 )
 
@@ -28,47 +34,51 @@ func (*Datafly) Name() string { return "datafly" }
 
 // Anonymize implements algorithm.Algorithm.
 func (d *Datafly) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	if err := cfg.Validate(t); err != nil {
-		return nil, fmt.Errorf("datafly: %w", err)
-	}
-	qi := t.Schema.QuasiIdentifiers()
-	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	return d.AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext implements algorithm.ContextAlgorithm; the greedy walk
+// aborts with the context's error as soon as cancellation is seen.
+func (d *Datafly) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	eng, err := engine.New(t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("datafly: %w", err)
 	}
-	node := make(lattice.Node, len(qi))
-	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	maxLevels := eng.Lattice().MaxLevels()
+	node := make(lattice.Node, eng.NumQI())
 	steps := 0
 	for {
-		anon, err := hierarchy.GeneralizeTable(t, cfg.Hierarchies, node)
+		ev, err := eng.Evaluate(ctx, node)
 		if err != nil {
 			return nil, fmt.Errorf("datafly: %w", err)
 		}
-		_, _, small, err := algorithm.ApplyNode(t, cfg, node)
-		if err != nil {
-			return nil, fmt.Errorf("datafly: %w", err)
-		}
-		if len(small) <= budget {
+		if ev.Satisfies {
 			break
 		}
 		// Generalize the attribute with the most distinct values among
 		// those not yet at their maximum level.
 		best, bestDistinct := -1, -1
-		for li, j := range qi {
+		for li := range node {
 			if node[li] >= maxLevels[li] {
 				continue
 			}
-			if d := anon.DistinctCount(j); d > bestDistinct {
-				best, bestDistinct = li, d
+			distinct, err := eng.DistinctAtLevel(li, node[li])
+			if err != nil {
+				return nil, fmt.Errorf("datafly: %w", err)
+			}
+			if distinct > bestDistinct {
+				best, bestDistinct = li, distinct
 			}
 		}
 		if best < 0 {
-			return nil, fmt.Errorf("datafly: cannot reach %d-anonymity even at full generalization with suppression budget %d", cfg.K, budget)
+			return nil, fmt.Errorf("datafly: cannot reach %d-anonymity even at full generalization with suppression budget %d", cfg.K, eng.Budget())
 		}
 		node[best]++
 		steps++
 	}
-	return algorithm.FinishGlobal(d.Name(), t, cfg, node, map[string]float64{
+	stats := map[string]float64{
 		"generalization_steps": float64(steps),
-	})
+	}
+	eng.Stats().MergeInto(stats)
+	return algorithm.FinishGlobal(d.Name(), t, cfg, node, stats)
 }

@@ -9,15 +9,21 @@
 // slow-converging choice) and a Lunacek-style constrained single-point
 // crossover that preserves per-attribute level runs. The ablation
 // experiment E15 compares them.
+//
+// Fitness evaluation runs on the shared evaluation engine: each distinct
+// chromosome costs one signature-assembly pass, and the converged
+// late-generation populations hit the engine's memo cache.
 package genetic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"microdata/internal/algorithm"
 	"microdata/internal/dataset"
+	"microdata/internal/engine"
 	"microdata/internal/lattice"
 )
 
@@ -88,32 +94,40 @@ func (g *GA) defaults() (pop, gens int, mut, penalty float64) {
 
 // Anonymize implements algorithm.Algorithm.
 func (g *GA) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	if err := cfg.Validate(t); err != nil {
-		return nil, fmt.Errorf("genetic: %w", err)
-	}
-	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	return g.AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext implements algorithm.ContextAlgorithm; the evolution
+// aborts with the context's error as soon as cancellation is seen.
+func (g *GA) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	eng, err := engine.New(t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("genetic: %w", err)
 	}
+	maxLevels := eng.Lattice().MaxLevels()
 	popSize, gens, mutRate, penaltyW := g.defaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	budget := eng.Budget()
 
 	// fitness: utility cost + penalty for suppressions beyond budget.
 	// Lower is better. Feasible nodes use their true finished cost;
 	// infeasible ones are ranked above the worst feasible cost (the top
 	// node's) by their violation size, so the search keeps a gradient
 	// toward feasibility regardless of the metric's scale.
-	topNode := make(lattice.Node, len(maxLevels))
-	copy(topNode, maxLevels)
-	topCost, err := algorithm.NodeCost(t, cfg, topNode)
+	topEv, err := eng.Evaluate(ctx, eng.Lattice().Top())
+	if err != nil {
+		return nil, fmt.Errorf("genetic: %w", err)
+	}
+	topCost, err := topEv.Cost()
 	if err != nil {
 		return nil, fmt.Errorf("genetic: %w", err)
 	}
 	penaltyBase := math.Abs(topCost) + 1
 	// The population revisits the same lattice nodes constantly once the
 	// search converges; memoizing fitness by node turns the late
-	// generations nearly free without changing any outcome.
+	// generations nearly free without changing any outcome. The local map
+	// also keeps the fitness_evaluations stat counting distinct
+	// chromosomes, independent of the engine's own memo cache.
 	evals := 0
 	cache := map[string]float64{}
 	fitness := func(n lattice.Node) (float64, error) {
@@ -121,17 +135,17 @@ func (g *GA) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Resul
 			return f, nil
 		}
 		evals++
-		_, _, small, err := algorithm.ApplyNode(t, cfg, n)
+		ev, err := eng.Evaluate(ctx, n)
 		if err != nil {
 			return 0, err
 		}
-		over := len(small) - budget
+		over := len(ev.Bad) - budget
 		if over > 0 {
 			f := penaltyBase + penaltyW*float64(over)/float64(t.Len())*penaltyBase
 			cache[n.Key()] = f
 			return f, nil
 		}
-		c, err := algorithm.NodeCost(t, cfg, n)
+		c, err := ev.Cost()
 		if err != nil {
 			return 0, err
 		}
@@ -221,18 +235,20 @@ func (g *GA) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Resul
 		}
 	}
 	// The best individual must be feasible (the seeded top node is).
-	_, _, small, err := algorithm.ApplyNode(t, cfg, best)
+	bestEv, err := eng.Evaluate(ctx, best)
 	if err != nil {
 		return nil, fmt.Errorf("genetic: %w", err)
 	}
-	if len(small) > budget {
-		return nil, fmt.Errorf("genetic: best individual %v infeasible (%d > budget %d)", best, len(small), budget)
+	if !bestEv.Satisfies {
+		return nil, fmt.Errorf("genetic: best individual %v infeasible (%d > budget %d)", best, len(bestEv.Bad), budget)
 	}
-	return algorithm.FinishGlobal(g.Name(), t, cfg, best, map[string]float64{
+	stats := map[string]float64{
 		"fitness_evaluations": float64(evals),
 		"generations":         float64(gens),
 		"best_fitness":        bestFit,
-	})
+	}
+	eng.Stats().MergeInto(stats)
+	return algorithm.FinishGlobal(g.Name(), t, cfg, best, stats)
 }
 
 func argmin(xs []float64) int {

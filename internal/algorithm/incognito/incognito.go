@@ -13,13 +13,20 @@
 // anchors!) may cause the sweep to label a node minimal that is not — the
 // final result is still a valid k-anonymization because every returned node
 // is verified directly.
+//
+// Each level of the breadth-first sweep batch-evaluates its non-inherited
+// nodes in parallel on the shared evaluation engine. Within a stratum the
+// inheritance checks consult only the previous stratum, so batching cannot
+// change which nodes are evaluated.
 package incognito
 
 import (
+	"context"
 	"fmt"
 
 	"microdata/internal/algorithm"
 	"microdata/internal/dataset"
+	"microdata/internal/engine"
 	"microdata/internal/lattice"
 )
 
@@ -36,25 +43,26 @@ func (*Incognito) Name() string { return "incognito" }
 // that satisfies k within the suppression budget, plus the number of nodes
 // actually evaluated (pruned nodes are free).
 func (in *Incognito) MinimalNodes(t *dataset.Table, cfg algorithm.Config) ([]lattice.Node, int, error) {
-	if err := cfg.Validate(t); err != nil {
-		return nil, 0, fmt.Errorf("incognito: %w", err)
-	}
-	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	eng, err := engine.New(t, cfg)
 	if err != nil {
 		return nil, 0, fmt.Errorf("incognito: %w", err)
 	}
-	lat, err := lattice.New(maxLevels)
-	if err != nil {
-		return nil, 0, fmt.Errorf("incognito: %w", err)
-	}
-	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	minimal, err := in.minimalNodes(context.Background(), eng)
+	return minimal, int(eng.Stats().NodesEvaluated), err
+}
+
+// minimalNodes is the engine-backed sweep behind MinimalNodes.
+func (in *Incognito) minimalNodes(ctx context.Context, eng *engine.Engine) ([]lattice.Node, error) {
+	lat := eng.Lattice()
 	satisfying := map[string]bool{} // nodes known to satisfy
 	var minimal []lattice.Node
-	evaluated := 0
 	for h := 0; h <= lat.Height(); h++ {
-		for _, n := range lat.AtHeight(h) {
-			// If any predecessor satisfies, n satisfies by monotonicity
-			// and is not minimal: propagate without evaluating.
+		// Partition the stratum into nodes that inherit satisfaction from a
+		// predecessor (free by monotonicity, never minimal) and nodes that
+		// need a direct evaluation; batch the latter in parallel.
+		stratum := lat.AtHeight(h)
+		var fresh []lattice.Node
+		for _, n := range stratum {
 			inherited := false
 			for _, p := range lat.Predecessors(n) {
 				if satisfying[p.Key()] {
@@ -64,26 +72,38 @@ func (in *Incognito) MinimalNodes(t *dataset.Table, cfg algorithm.Config) ([]lat
 			}
 			if inherited {
 				satisfying[n.Key()] = true
-				continue
+			} else {
+				fresh = append(fresh, n)
 			}
-			evaluated++
-			_, _, small, err := algorithm.ApplyNode(t, cfg, n)
-			if err != nil {
-				return nil, evaluated, fmt.Errorf("incognito: %w", err)
-			}
-			if len(small) <= budget {
-				satisfying[n.Key()] = true
-				minimal = append(minimal, n.Clone())
+		}
+		evs, err := eng.EvaluateAll(ctx, fresh)
+		if err != nil {
+			return nil, fmt.Errorf("incognito: %w", err)
+		}
+		for _, ev := range evs {
+			if ev.Satisfies {
+				satisfying[ev.Node.Key()] = true
+				minimal = append(minimal, ev.Node)
 			}
 		}
 	}
-	return minimal, evaluated, nil
+	return minimal, nil
 }
 
 // Anonymize implements algorithm.Algorithm: among the minimal satisfying
 // nodes, finish with the best one under the configured metric.
 func (in *Incognito) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	minimal, evaluated, err := in.MinimalNodes(t, cfg)
+	return in.AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext implements algorithm.ContextAlgorithm; the sweep aborts
+// with the context's error as soon as cancellation is seen.
+func (in *Incognito) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	eng, err := engine.New(t, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("incognito: %w", err)
+	}
+	minimal, err := in.minimalNodes(ctx, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +113,11 @@ func (in *Incognito) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorit
 	var best lattice.Node
 	bestCost := 0.0
 	for _, n := range minimal {
-		c, err := algorithm.NodeCost(t, cfg, n)
+		ev, err := eng.Evaluate(ctx, n) // memoized from the sweep
+		if err != nil {
+			return nil, fmt.Errorf("incognito: %w", err)
+		}
+		c, err := ev.Cost()
 		if err != nil {
 			return nil, fmt.Errorf("incognito: %w", err)
 		}
@@ -101,8 +125,10 @@ func (in *Incognito) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorit
 			best, bestCost = n, c
 		}
 	}
-	return algorithm.FinishGlobal(in.Name(), t, cfg, best, map[string]float64{
-		"nodes_evaluated": float64(evaluated),
+	stats := map[string]float64{
+		"nodes_evaluated": float64(eng.Stats().NodesEvaluated),
 		"minimal_nodes":   float64(len(minimal)),
-	})
+	}
+	eng.Stats().MergeInto(stats)
+	return algorithm.FinishGlobal(in.Name(), t, cfg, best, stats)
 }

@@ -18,9 +18,16 @@
 // ground truth on the full-domain search space) and NSGA2 runs an
 // elitist non-dominated-sorting genetic algorithm for lattices too large
 // to enumerate. E16 compares them.
+//
+// Both searchers evaluate nodes on the shared evaluation engine (with a
+// privacy-free engine configuration: K=1, no diversity constraints, LM
+// metric, zero suppression), so the partition and the loss come from
+// precomputed signature fragments instead of a materialized table per
+// node.
 package moga
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,10 +36,8 @@ import (
 	"microdata/internal/algorithm"
 	"microdata/internal/core"
 	"microdata/internal/dataset"
-	"microdata/internal/eqclass"
-	"microdata/internal/hierarchy"
+	"microdata/internal/engine"
 	"microdata/internal/lattice"
-	"microdata/internal/utility"
 )
 
 // Objectives is one point in objective space; both components are
@@ -69,26 +74,34 @@ type Front struct {
 	Evaluations int
 }
 
-// evaluate computes the objectives of one node.
-func evaluate(t *dataset.Table, cfg algorithm.Config, node lattice.Node, dmax core.PropertyVector) (Point, error) {
-	anon, err := hierarchy.GeneralizeTable(t, cfg.Hierarchies, node)
-	if err != nil {
-		return Point{}, err
-	}
-	p, err := eqclass.FromTable(anon)
-	if err != nil {
-		return Point{}, err
-	}
-	sizes := core.PropertyVector(p.SizeVector())
+// newEngine builds the shared evaluation engine with moga's privacy-free
+// probe configuration: K=1 and no diversity constraints (privacy is an
+// objective here, not a constraint), LM metric and zero suppression, so
+// every node is admissible, Evaluation.Partition is the plain partition of
+// the generalized table, and Evaluation.Cost is exactly the general loss
+// metric.
+func newEngine(t *dataset.Table, cfg algorithm.Config) (*engine.Engine, error) {
+	probe := cfg
+	probe.K = 1
+	probe.MinLDiversity, probe.MaxTCloseness, probe.MinEntropyL = 0, 0, 0
+	probe.RecursiveC, probe.RecursiveL = 0, 0
+	probe.Metric = algorithm.MetricLM
+	probe.MaxSuppression = 0
+	return engine.New(t, probe)
+}
+
+// evaluate computes the objectives of one engine evaluation.
+func evaluate(ev *engine.Evaluation, dmax core.PropertyVector) (Point, error) {
+	sizes := core.PropertyVector(ev.Partition.SizeVector())
 	rank := core.PRank(dmax).F(sizes)
-	loss, err := utility.GeneralLossMetric(anon, t, utility.LossConfig{Taxonomies: cfg.Taxonomies})
+	loss, err := ev.Cost()
 	if err != nil {
 		return Point{}, err
 	}
 	return Point{
-		Node:    node.Clone(),
+		Node:    ev.Node.Clone(),
 		Obj:     Objectives{PrivacyRank: rank, Loss: loss},
-		KActual: p.MinSize(),
+		KActual: ev.Partition.MinSize(),
 	}, nil
 }
 
@@ -147,31 +160,32 @@ func extractFront(points []Point) []Point {
 // Pareto front — feasible whenever the lattice is enumerable, and the
 // ground truth E16 scores NSGA2 against.
 func ExhaustiveFront(t *dataset.Table, cfg algorithm.Config) (*Front, error) {
+	return ExhaustiveFrontContext(context.Background(), t, cfg)
+}
+
+// ExhaustiveFrontContext is ExhaustiveFront honoring a context: the lattice
+// sweep runs as one parallel engine batch and aborts with the context's
+// error as soon as cancellation is seen.
+func ExhaustiveFrontContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*Front, error) {
 	if err := checkConfig(t, cfg); err != nil {
 		return nil, fmt.Errorf("moga: %w", err)
 	}
-	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
-	if err != nil {
-		return nil, fmt.Errorf("moga: %w", err)
-	}
-	lat, err := lattice.New(maxLevels)
+	eng, err := newEngine(t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("moga: %w", err)
 	}
 	dmax := idealVector(t.Len())
-	var all []Point
-	var sweepErr error
-	lat.All(func(n lattice.Node) bool {
-		pt, err := evaluate(t, cfg, n, dmax)
+	evs, err := eng.EvaluateAll(ctx, eng.Lattice().Nodes())
+	if err != nil {
+		return nil, fmt.Errorf("moga: %w", err)
+	}
+	all := make([]Point, 0, len(evs))
+	for _, ev := range evs {
+		pt, err := evaluate(ev, dmax)
 		if err != nil {
-			sweepErr = err
-			return false
+			return nil, fmt.Errorf("moga: %w", err)
 		}
 		all = append(all, pt)
-		return true
-	})
-	if sweepErr != nil {
-		return nil, fmt.Errorf("moga: %w", sweepErr)
 	}
 	return &Front{Points: extractFront(all), Evaluations: len(all)}, nil
 }
@@ -189,13 +203,20 @@ type NSGA2 struct {
 // Explore runs the search and returns the non-dominated front of every
 // point ever evaluated (an archive front, deterministic for cfg.Seed).
 func (g *NSGA2) Explore(t *dataset.Table, cfg algorithm.Config) (*Front, error) {
+	return g.ExploreContext(context.Background(), t, cfg)
+}
+
+// ExploreContext is Explore honoring a context; the evolution aborts with
+// the context's error as soon as cancellation is seen.
+func (g *NSGA2) ExploreContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*Front, error) {
 	if err := checkConfig(t, cfg); err != nil {
 		return nil, fmt.Errorf("moga: %w", err)
 	}
-	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	eng, err := newEngine(t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("moga: %w", err)
 	}
+	maxLevels := eng.Lattice().MaxLevels()
 	popSize, gens, mutRate := g.PopSize, g.Generations, g.MutationRate
 	if popSize <= 0 {
 		popSize = 32
@@ -209,6 +230,8 @@ func (g *NSGA2) Explore(t *dataset.Table, cfg algorithm.Config) (*Front, error) 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	dmax := idealVector(t.Len())
 
+	// The local map keeps Front.Evaluations counting distinct nodes,
+	// independent of the engine's own memo cache.
 	evals := 0
 	cache := map[string]Point{}
 	eval := func(n lattice.Node) (Point, error) {
@@ -216,7 +239,11 @@ func (g *NSGA2) Explore(t *dataset.Table, cfg algorithm.Config) (*Front, error) 
 			return pt, nil
 		}
 		evals++
-		pt, err := evaluate(t, cfg, n, dmax)
+		ev, err := eng.Evaluate(ctx, n)
+		if err != nil {
+			return Point{}, err
+		}
+		pt, err := evaluate(ev, dmax)
 		if err != nil {
 			return Point{}, err
 		}

@@ -10,14 +10,23 @@
 // returns is whatever the heuristic achieved; callers who need a guarantee
 // must verify with privacy.IsKAnonymous. This makes μ-Argus a genuinely
 // different — and genuinely biased — baseline for the comparison framework.
+//
+// The combination tables are grouped on the shared evaluation engine's
+// precomputed fragment ids, and the local-suppression fixpoint updates
+// group occupancies incrementally on a worklist instead of rescanning the
+// table each iteration; the generalized table is materialized only once,
+// for the final node.
 package muargus
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 	"sort"
 
 	"microdata/internal/algorithm"
 	"microdata/internal/dataset"
+	"microdata/internal/engine"
 	"microdata/internal/eqclass"
 	"microdata/internal/hierarchy"
 	"microdata/internal/lattice"
@@ -36,74 +45,176 @@ func New() *MuArgus { return &MuArgus{} }
 // Name implements algorithm.Algorithm.
 func (*MuArgus) Name() string { return "mu-argus" }
 
+// comboGroup is one cell of one combination's frequency table: the rows
+// sharing a value combination, and how many of them are not yet suppressed.
+type comboGroup struct {
+	rows  []int
+	alive int
+}
+
 // Anonymize implements algorithm.Algorithm.
 func (m *MuArgus) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	return m.AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext implements algorithm.ContextAlgorithm; the greedy walk
+// aborts with the context's error as soon as cancellation is seen.
+func (m *MuArgus) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
 	if err := cfg.Validate(t); err != nil {
 		return nil, fmt.Errorf("mu-argus: %w", err)
 	}
 	if cfg.MinLDiversity > 0 || cfg.MaxTCloseness > 0 || cfg.MinEntropyL > 0 || cfg.RecursiveC > 0 {
 		return nil, fmt.Errorf("mu-argus: diversity constraints are not supported — the combination heuristic offers no guarantee even for k (paper §6)")
 	}
+	eng, err := engine.New(t, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mu-argus: %w", err)
+	}
 	order := m.MaxCombination
 	if order <= 0 {
 		order = 2
 	}
-	qi := t.Schema.QuasiIdentifiers()
-	if order > len(qi) {
-		order = len(qi)
+	if order > eng.NumQI() {
+		order = eng.NumQI()
 	}
-	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
-	if err != nil {
-		return nil, fmt.Errorf("mu-argus: %w", err)
-	}
-	combos := combinations(len(qi), order)
-	node := make(lattice.Node, len(qi))
-	budget := int(cfg.MaxSuppression * float64(t.Len()))
+	maxLevels := eng.Lattice().MaxLevels()
+	combos := combinations(eng.NumQI(), order)
+	node := make(lattice.Node, eng.NumQI())
+	budget := eng.Budget()
 	steps := 0
+	n := t.Len()
 	for {
-		anon, err := hierarchy.GeneralizeTable(t, cfg.Hierarchies, node)
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("mu-argus: %w", err)
 		}
+		// Build each combination's frequency table by grouping rows on the
+		// engine's fragment ids at the current levels — no generalized
+		// table is materialized.
+		frags := make([][]uint32, eng.NumQI())
+		for li := range frags {
+			if frags[li], err = eng.FragmentIDs(li, node[li]); err != nil {
+				return nil, fmt.Errorf("mu-argus: %w", err)
+			}
+		}
+		var groups []*comboGroup
+		comboGroups := make([][]*comboGroup, len(combos))
+		rowGroups := make([][]*comboGroup, n)
+		buf := make([]byte, 4*order)
+		for ci, combo := range combos {
+			index := make(map[string]*comboGroup)
+			for i := 0; i < n; i++ {
+				for bi, li := range combo {
+					binary.LittleEndian.PutUint32(buf[4*bi:], frags[li][i])
+				}
+				key := string(buf[:4*len(combo)])
+				g := index[key]
+				if g == nil {
+					g = &comboGroup{}
+					index[key] = g
+					groups = append(groups, g)
+					comboGroups[ci] = append(comboGroups[ci], g)
+				}
+				g.rows = append(g.rows, i)
+				rowGroups[i] = append(rowGroups[i], g)
+			}
+		}
 		// Local suppression runs to a fixpoint: removing an outlier can
-		// push a surviving combination below k, so suppressed rows are
-		// excluded from the counts and the scan repeats until either no
-		// rare combination remains or the budget is blown.
-		suppressed := map[int]bool{}
+		// push a surviving combination below k, so group occupancies are
+		// decremented as rows are suppressed and only the groups that just
+		// dropped below k are re-examined (a previously rare group has no
+		// unsuppressed rows left and cannot contribute again).
+		suppressed := make([]bool, n)
+		nSuppressed := 0
+		var work []*comboGroup
+		for _, g := range groups {
+			g.alive = len(g.rows)
+			if g.alive < cfg.K {
+				work = append(work, g)
+			}
+		}
 		for {
-			rare := m.rareRows(anon, qi, combos, cfg.K, suppressed)
+			var rare []int
+			seen := make(map[int]bool)
+			for _, g := range work {
+				for _, r := range g.rows {
+					if !suppressed[r] && !seen[r] {
+						seen[r] = true
+						rare = append(rare, r)
+					}
+				}
+			}
 			if len(rare) == 0 {
-				all := keysSorted(suppressed)
+				// Fixpoint reached: materialize the final node once,
+				// suppress the outliers, and report.
+				anon, err := hierarchy.GeneralizeTable(t, cfg.Hierarchies, node)
+				if err != nil {
+					return nil, fmt.Errorf("mu-argus: %w", err)
+				}
+				var all []int
+				for r := 0; r < n; r++ {
+					if suppressed[r] {
+						all = append(all, r)
+					}
+				}
 				hierarchy.SuppressRows(anon, all)
 				p, err := eqclass.FromTable(anon)
 				if err != nil {
 					return nil, fmt.Errorf("mu-argus: %w", err)
 				}
+				stats := map[string]float64{
+					"generalization_steps": float64(steps),
+					"suppressed":           float64(len(all)),
+					"combination_order":    float64(order),
+				}
+				eng.Stats().MergeInto(stats)
 				return &algorithm.Result{
 					Algorithm:  m.Name(),
 					Table:      anon,
 					Partition:  p,
 					Levels:     node.Clone(),
 					Suppressed: all,
-					Stats: map[string]float64{
-						"generalization_steps": float64(steps),
-						"suppressed":           float64(len(all)),
-						"combination_order":    float64(order),
-					},
+					Stats:      stats,
 				}, nil
 			}
-			if len(suppressed)+len(rare) > budget {
+			if nSuppressed+len(rare) > budget {
 				break // generalize instead
 			}
+			sort.Ints(rare)
+			var next []*comboGroup
+			queued := make(map[*comboGroup]bool)
 			for _, r := range rare {
 				suppressed[r] = true
+				nSuppressed++
+				for _, g := range rowGroups[r] {
+					was := g.alive
+					g.alive--
+					if g.alive < cfg.K && was >= cfg.K && !queued[g] {
+						queued[g] = true
+						next = append(next, g)
+					}
+				}
 			}
+			work = next
 		}
 		// Generalize the attribute participating in the most rare
 		// combinations (greedy, mirroring μ-Argus's interactive advice).
-		scores := m.attributeScores(anon, qi, combos, cfg.K)
+		// Scores count rows of undersized cells in each combination's full
+		// frequency table, suppression ignored, exactly as a fresh scan of
+		// the generalized table would.
+		scores := make([]int, eng.NumQI())
+		for ci, combo := range combos {
+			rare := 0
+			for _, g := range comboGroups[ci] {
+				if len(g.rows) < cfg.K {
+					rare += len(g.rows)
+				}
+			}
+			for _, li := range combo {
+				scores[li] += rare
+			}
+		}
 		best, bestScore := -1, -1
-		for li := range qi {
+		for li := 0; li < eng.NumQI(); li++ {
 			if node[li] >= maxLevels[li] {
 				continue
 			}
@@ -117,75 +228,6 @@ func (m *MuArgus) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.
 		node[best]++
 		steps++
 	}
-}
-
-func keysSorted(set map[int]bool) []int {
-	out := make([]int, 0, len(set))
-	for r := range set {
-		out = append(out, r)
-	}
-	sort.Ints(out)
-	return out
-}
-
-// rareRows returns the not-yet-suppressed rows participating in any checked
-// combination occurring fewer than k times among unsuppressed rows, sorted
-// ascending. Suppressed rows are unlinkable (paper §3) and excluded.
-func (m *MuArgus) rareRows(t *dataset.Table, qi []int, combos [][]int, k int, suppressed map[int]bool) []int {
-	rare := map[int]struct{}{}
-	for _, combo := range combos {
-		counts := map[string][]int{}
-		for i := range t.Rows {
-			if suppressed[i] {
-				continue
-			}
-			key := comboKey(t, i, qi, combo)
-			counts[key] = append(counts[key], i)
-		}
-		for _, rows := range counts {
-			if len(rows) < k {
-				for _, r := range rows {
-					rare[r] = struct{}{}
-				}
-			}
-		}
-	}
-	out := make([]int, 0, len(rare))
-	for r := range rare {
-		out = append(out, r)
-	}
-	sort.Ints(out)
-	return out
-}
-
-// attributeScores counts, per quasi-identifier, how many rare rows involve
-// it through a rare combination.
-func (m *MuArgus) attributeScores(t *dataset.Table, qi []int, combos [][]int, k int) []int {
-	scores := make([]int, len(qi))
-	for _, combo := range combos {
-		counts := map[string]int{}
-		for i := range t.Rows {
-			counts[comboKey(t, i, qi, combo)]++
-		}
-		rare := 0
-		for _, c := range counts {
-			if c < k {
-				rare += c
-			}
-		}
-		for _, li := range combo {
-			scores[li] += rare
-		}
-	}
-	return scores
-}
-
-func comboKey(t *dataset.Table, row int, qi, combo []int) string {
-	key := ""
-	for _, li := range combo {
-		key += t.At(row, qi[li]).Key() + "\x1f"
-	}
-	return key
 }
 
 // combinations enumerates all index subsets of {0..n-1} with size 1..order.

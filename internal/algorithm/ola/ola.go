@@ -12,17 +12,23 @@
 // to a heuristic. The conformance test pins agreement with the exhaustive
 // optimum on nested ladders.
 //
+// Node evaluation runs on the shared evaluation engine: each sublattice's
+// middle stratum is batch-evaluated in parallel before the sequential
+// tagging pass, which then classifies from the engine's memo cache.
+//
 // OLA was published after the reproduced paper (2009) but belongs to the
 // same full-domain family the paper compares; it is included as the
 // production-grade representative of that family.
 package ola
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"microdata/internal/algorithm"
 	"microdata/internal/dataset"
+	"microdata/internal/engine"
 	"microdata/internal/lattice"
 )
 
@@ -37,30 +43,25 @@ func (*OLA) Name() string { return "ola" }
 
 // tagger memoizes node classifications and propagates them monotonically.
 type tagger struct {
-	t         *dataset.Table
-	cfg       algorithm.Config
-	lat       *lattice.Lattice
-	budget    int
-	tags      map[string]bool // node key -> satisfies constraints
-	tagged    map[string]bool // node key -> classification known
-	evaluated int
+	eng    *engine.Engine
+	lat    *lattice.Lattice
+	tags   map[string]bool // node key -> satisfies constraints
+	tagged map[string]bool // node key -> classification known
 }
 
-// classify returns whether the node satisfies, evaluating it only when no
-// tag is present.
-func (tg *tagger) classify(n lattice.Node) (bool, error) {
+// classify returns whether the node satisfies, consulting the engine (and
+// its memo cache) only when no tag is present.
+func (tg *tagger) classify(ctx context.Context, n lattice.Node) (bool, error) {
 	key := n.Key()
 	if tg.tagged[key] {
 		return tg.tags[key], nil
 	}
-	tg.evaluated++
-	_, _, small, err := algorithm.ApplyNode(tg.t, tg.cfg, n)
+	ev, err := tg.eng.Evaluate(ctx, n)
 	if err != nil {
 		return false, err
 	}
-	ok := len(small) <= tg.budget
-	tg.tag(n, ok)
-	return ok, nil
+	tg.tag(n, ev.Satisfies)
+	return ev.Satisfies, nil
 }
 
 // tag records a classification and propagates it: a satisfying node tags
@@ -88,34 +89,45 @@ func (tg *tagger) tag(n lattice.Node, ok bool) {
 // node: find satisfying nodes at the middle height of the sublattice,
 // recurse into the halves. Every k-minimal node within the sublattice ends
 // up tagged.
-func (tg *tagger) searchSublattice(bottom, top lattice.Node) error {
+func (tg *tagger) searchSublattice(ctx context.Context, bottom, top lattice.Node) error {
 	hB, hT := bottom.Height(), top.Height()
 	if hT-hB < 1 {
 		return nil
 	}
 	if hT-hB == 1 {
 		// Adjacent: classify both ends.
-		if _, err := tg.classify(bottom); err != nil {
+		if _, err := tg.classify(ctx, bottom); err != nil {
 			return err
 		}
-		_, err := tg.classify(top)
+		_, err := tg.classify(ctx, top)
 		return err
 	}
 	mid := (hB + hT) / 2
 	// Nodes of the sublattice at the middle height: component-wise between
-	// bottom and top with height sum == mid.
-	nodes := tg.between(bottom, top, mid)
+	// bottom and top with height sum == mid. Batch-evaluate the ones not
+	// yet tagged in parallel; the classify loop below runs on the memo
+	// cache in the same deterministic order as a sequential sweep.
+	nodes := lattice.Between(bottom, top, mid)
+	var fresh []lattice.Node
 	for _, n := range nodes {
-		ok, err := tg.classify(n)
+		if !tg.tagged[n.Key()] {
+			fresh = append(fresh, n)
+		}
+	}
+	if _, err := tg.eng.EvaluateAll(ctx, fresh); err != nil {
+		return err
+	}
+	for _, n := range nodes {
+		ok, err := tg.classify(ctx, n)
 		if err != nil {
 			return err
 		}
 		if ok {
-			if err := tg.searchSublattice(bottom, n); err != nil {
+			if err := tg.searchSublattice(ctx, bottom, n); err != nil {
 				return err
 			}
 		} else {
-			if err := tg.searchSublattice(n, top); err != nil {
+			if err := tg.searchSublattice(ctx, n, top); err != nil {
 				return err
 			}
 		}
@@ -123,58 +135,30 @@ func (tg *tagger) searchSublattice(bottom, top lattice.Node) error {
 	return nil
 }
 
-// between enumerates nodes n with bottom <= n <= top and Height(n) == h.
-func (tg *tagger) between(bottom, top lattice.Node, h int) []lattice.Node {
-	var out []lattice.Node
-	n := bottom.Clone()
-	var rec func(i, remaining int)
-	rec = func(i, remaining int) {
-		if i == len(n)-1 {
-			v := bottom[i] + remaining
-			if v <= top[i] {
-				n[i] = v
-				out = append(out, n.Clone())
-			}
-			return
-		}
-		max := top[i] - bottom[i]
-		if max > remaining {
-			max = remaining
-		}
-		for d := 0; d <= max; d++ {
-			n[i] = bottom[i] + d
-			rec(i+1, remaining-d)
-		}
-	}
-	rec(0, h-bottom.Height())
-	return out
-}
-
 // Anonymize implements algorithm.Algorithm.
 func (o *OLA) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	if err := cfg.Validate(t); err != nil {
-		return nil, fmt.Errorf("ola: %w", err)
-	}
-	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	return o.AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext implements algorithm.ContextAlgorithm; the sublattice
+// search aborts with the context's error as soon as cancellation is seen.
+func (o *OLA) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	eng, err := engine.New(t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("ola: %w", err)
 	}
-	lat, err := lattice.New(maxLevels)
-	if err != nil {
-		return nil, fmt.Errorf("ola: %w", err)
-	}
+	lat := eng.Lattice()
 	tg := &tagger{
-		t: t, cfg: cfg, lat: lat,
-		budget: int(cfg.MaxSuppression * float64(t.Len())),
-		tags:   map[string]bool{}, tagged: map[string]bool{},
+		eng: eng, lat: lat,
+		tags: map[string]bool{}, tagged: map[string]bool{},
 	}
 	// Seed: the top node always satisfies (single class or full star).
-	if ok, err := tg.classify(lat.Top()); err != nil {
+	if ok, err := tg.classify(ctx, lat.Top()); err != nil {
 		return nil, fmt.Errorf("ola: %w", err)
 	} else if !ok {
 		return nil, fmt.Errorf("ola: even full generalization fails the constraints")
 	}
-	if err := tg.searchSublattice(lat.Bottom(), lat.Top()); err != nil {
+	if err := tg.searchSublattice(ctx, lat.Bottom(), lat.Top()); err != nil {
 		return nil, fmt.Errorf("ola: %w", err)
 	}
 	// Collect k-minimal tagged-satisfying nodes (no satisfying
@@ -191,7 +175,7 @@ func (o *OLA) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Resu
 		}
 		minimal := true
 		for _, p := range lat.Predecessors(n) {
-			ok, err := tg.classify(p) // mostly cached; lazy otherwise
+			ok, err := tg.classify(ctx, p) // mostly cached; lazy otherwise
 			if err != nil {
 				sweepErr = err
 				return false
@@ -204,13 +188,18 @@ func (o *OLA) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Resu
 		if !minimal {
 			return true
 		}
-		c, err := algorithm.NodeCost(t, cfg, n)
+		ev, err := eng.Evaluate(ctx, n)
+		if err != nil {
+			sweepErr = err
+			return false
+		}
+		c, err := ev.Cost()
 		if err != nil {
 			sweepErr = err
 			return false
 		}
 		if c < bestCost {
-			best, bestCost = n.Clone(), c
+			best, bestCost = ev.Node, c
 		}
 		return true
 	})
@@ -220,8 +209,10 @@ func (o *OLA) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Resu
 	if best == nil {
 		return nil, fmt.Errorf("ola: no satisfying node found")
 	}
-	return algorithm.FinishGlobal(o.Name(), t, cfg, best, map[string]float64{
-		"nodes_evaluated": float64(tg.evaluated),
+	stats := map[string]float64{
+		"nodes_evaluated": float64(eng.Stats().NodesEvaluated),
 		"nodes_tagged":    float64(len(tg.tagged)),
-	})
+	}
+	eng.Stats().MergeInto(stats)
+	return algorithm.FinishGlobal(o.Name(), t, cfg, best, stats)
 }

@@ -9,14 +9,20 @@
 // stand-in guarantees optimality over the full-domain lattice only, which
 // is the search space every other global-recoding baseline here shares, so
 // cross-algorithm comparisons stay apples-to-apples (DESIGN.md §5).
+//
+// The sweep runs on the shared evaluation engine: the whole lattice is
+// evaluated as one parallel batch of precomputed signature fragments, and
+// only the winning node is materialized.
 package optimal
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"microdata/internal/algorithm"
 	"microdata/internal/dataset"
+	"microdata/internal/engine"
 	"microdata/internal/lattice"
 )
 
@@ -31,41 +37,38 @@ func (*Optimal) Name() string { return "optimal" }
 
 // Anonymize implements algorithm.Algorithm.
 func (o *Optimal) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	if err := cfg.Validate(t); err != nil {
-		return nil, fmt.Errorf("optimal: %w", err)
-	}
-	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	return o.AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext implements algorithm.ContextAlgorithm; the exhaustive
+// sweep aborts with the context's error as soon as cancellation is seen.
+func (o *Optimal) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	eng, err := engine.New(t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("optimal: %w", err)
 	}
-	lat, err := lattice.New(maxLevels)
+	evs, err := eng.EvaluateAll(ctx, eng.Lattice().Nodes())
 	if err != nil {
 		return nil, fmt.Errorf("optimal: %w", err)
 	}
 	var best lattice.Node
 	bestCost := math.Inf(1)
-	evaluated := 0
-	var sweepErr error
-	lat.All(func(n lattice.Node) bool {
-		evaluated++
-		c, err := algorithm.NodeCost(t, cfg, n)
+	for _, ev := range evs {
+		c, err := ev.Cost()
 		if err != nil {
-			sweepErr = err
-			return false
+			return nil, fmt.Errorf("optimal: %w", err)
 		}
 		if c < bestCost {
-			best, bestCost = n.Clone(), c
+			best, bestCost = ev.Node, c
 		}
-		return true
-	})
-	if sweepErr != nil {
-		return nil, fmt.Errorf("optimal: %w", sweepErr)
 	}
 	if best == nil || math.IsInf(bestCost, 1) {
 		return nil, fmt.Errorf("optimal: no generalization satisfies %d-anonymity within the suppression budget", cfg.K)
 	}
-	return algorithm.FinishGlobal(o.Name(), t, cfg, best, map[string]float64{
-		"nodes_evaluated": float64(evaluated),
+	stats := map[string]float64{
+		"nodes_evaluated": float64(eng.Stats().NodesEvaluated),
 		"best_cost":       bestCost,
-	})
+	}
+	eng.Stats().MergeInto(stats)
+	return algorithm.FinishGlobal(o.Name(), t, cfg, best, stats)
 }

@@ -4,13 +4,19 @@
 // the suppression budget, then pick, among the satisfying nodes of that
 // stratum, the one preferred by the configured utility metric — the
 // "preference information provided by the data recipient".
+//
+// Each stratum is evaluated as one parallel batch on the shared evaluation
+// engine; strata revisited by the binary search hit the engine's memo
+// cache instead of re-partitioning the table.
 package samarati
 
 import (
+	"context"
 	"fmt"
 
 	"microdata/internal/algorithm"
 	"microdata/internal/dataset"
+	"microdata/internal/engine"
 	"microdata/internal/lattice"
 )
 
@@ -25,49 +31,41 @@ func (*Samarati) Name() string { return "samarati" }
 
 // Anonymize implements algorithm.Algorithm.
 func (s *Samarati) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	if err := cfg.Validate(t); err != nil {
-		return nil, fmt.Errorf("samarati: %w", err)
-	}
-	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	return s.AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext implements algorithm.ContextAlgorithm; the binary search
+// aborts with the context's error as soon as cancellation is seen.
+func (s *Samarati) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	eng, err := engine.New(t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("samarati: %w", err)
 	}
-	lat, err := lattice.New(maxLevels)
-	if err != nil {
-		return nil, fmt.Errorf("samarati: %w", err)
-	}
-	budget := int(cfg.MaxSuppression * float64(t.Len()))
-	evaluated := 0
-	satisfiable := func(h int) (lattice.Node, bool, error) {
-		var found lattice.Node
-		for _, n := range lat.AtHeight(h) {
-			evaluated++
-			_, _, small, err := algorithm.ApplyNode(t, cfg, n)
-			if err != nil {
-				return nil, false, err
-			}
-			if len(small) <= budget {
-				// Return the first satisfying node as the witness; the
-				// final pass below reconsiders the whole stratum.
-				if found == nil {
-					found = n
-				}
+	lat := eng.Lattice()
+	satisfiable := func(h int) (bool, error) {
+		evs, err := eng.EvaluateAll(ctx, lat.AtHeight(h))
+		if err != nil {
+			return false, err
+		}
+		for _, ev := range evs {
+			if ev.Satisfies {
+				return true, nil
 			}
 		}
-		return found, found != nil, nil
+		return false, nil
 	}
 	// Binary search on height. k-anonymity-with-budget is monotone along
 	// height in the sense Samarati exploits: if some node at height h
 	// satisfies, some node at h+1 does too (any successor of the witness).
 	lo, hi := 0, lat.Height()
-	if _, ok, err := satisfiable(hi); err != nil {
+	if ok, err := satisfiable(hi); err != nil {
 		return nil, fmt.Errorf("samarati: %w", err)
 	} else if !ok {
-		return nil, fmt.Errorf("samarati: no generalization satisfies %d-anonymity within suppression budget %d", cfg.K, budget)
+		return nil, fmt.Errorf("samarati: no generalization satisfies %d-anonymity within suppression budget %d", cfg.K, eng.Budget())
 	}
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if _, ok, err := satisfiable(mid); err != nil {
+		if ok, err := satisfiable(mid); err != nil {
 			return nil, fmt.Errorf("samarati: %w", err)
 		} else if ok {
 			hi = mid
@@ -76,30 +74,33 @@ func (s *Samarati) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm
 		}
 	}
 	// Among the satisfying nodes at the minimal height, pick the best by
-	// the configured metric.
+	// the configured metric. The stratum is already memoized, so this pass
+	// costs only the (lazily computed) node costs.
+	evs, err := eng.EvaluateAll(ctx, lat.AtHeight(lo))
+	if err != nil {
+		return nil, fmt.Errorf("samarati: %w", err)
+	}
 	var best lattice.Node
 	bestCost := 0.0
-	for _, n := range lat.AtHeight(lo) {
-		_, _, small, err := algorithm.ApplyNode(t, cfg, n)
-		if err != nil {
-			return nil, fmt.Errorf("samarati: %w", err)
-		}
-		if len(small) > budget {
+	for _, ev := range evs {
+		if !ev.Satisfies {
 			continue
 		}
-		c, err := algorithm.NodeCost(t, cfg, n)
+		c, err := ev.Cost()
 		if err != nil {
 			return nil, fmt.Errorf("samarati: %w", err)
 		}
 		if best == nil || c < bestCost {
-			best, bestCost = n.Clone(), c
+			best, bestCost = ev.Node, c
 		}
 	}
 	if best == nil {
 		return nil, fmt.Errorf("samarati: internal error: minimal height %d has no satisfying node", lo)
 	}
-	return algorithm.FinishGlobal(s.Name(), t, cfg, best, map[string]float64{
-		"nodes_evaluated": float64(evaluated),
+	stats := map[string]float64{
+		"nodes_evaluated": float64(eng.Stats().NodesEvaluated),
 		"minimal_height":  float64(lo),
-	})
+	}
+	eng.Stats().MergeInto(stats)
+	return algorithm.FinishGlobal(s.Name(), t, cfg, best, stats)
 }

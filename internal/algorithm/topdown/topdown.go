@@ -11,13 +11,18 @@
 // the full-domain lattice with the configured utility metric as the
 // score, which preserves the top-down greedy character the comparison
 // experiments need (DESIGN.md §5).
+//
+// Each step's candidate specializations are batch-evaluated in parallel on
+// the shared evaluation engine.
 package topdown
 
 import (
+	"context"
 	"fmt"
 
 	"microdata/internal/algorithm"
 	"microdata/internal/dataset"
+	"microdata/internal/engine"
 	"microdata/internal/lattice"
 )
 
@@ -32,46 +37,56 @@ func (*TopDown) Name() string { return "topdown" }
 
 // Anonymize implements algorithm.Algorithm.
 func (td *TopDown) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	if err := cfg.Validate(t); err != nil {
-		return nil, fmt.Errorf("topdown: %w", err)
-	}
-	maxLevels, err := cfg.Hierarchies.MaxLevels(t.Schema)
+	return td.AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext implements algorithm.ContextAlgorithm; the descent
+// aborts with the context's error as soon as cancellation is seen.
+func (td *TopDown) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	eng, err := engine.New(t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("topdown: %w", err)
 	}
-	budget := int(cfg.MaxSuppression * float64(t.Len()))
-	node := make(lattice.Node, len(maxLevels))
-	copy(node, maxLevels) // start fully generalized
-	cost, err := algorithm.NodeCost(t, cfg, node)
+	node := eng.Lattice().Top() // start fully generalized
+	ev, err := eng.Evaluate(ctx, node)
+	if err != nil {
+		return nil, fmt.Errorf("topdown: %w", err)
+	}
+	cost, err := ev.Cost()
 	if err != nil {
 		return nil, fmt.Errorf("topdown: %w", err)
 	}
 	steps := 0
 	for {
 		// Candidate specializations: lower one attribute by one level,
-		// keeping feasibility.
-		bestIdx, bestCost := -1, cost
+		// keeping feasibility. Evaluated as one parallel batch.
+		var idxs []int
+		var cands []lattice.Node
 		for i := range node {
 			if node[i] == 0 {
 				continue
 			}
-			node[i]--
-			_, _, small, err := algorithm.ApplyNode(t, cfg, node)
+			c := node.Clone()
+			c[i]--
+			idxs = append(idxs, i)
+			cands = append(cands, c)
+		}
+		evs, err := eng.EvaluateAll(ctx, cands)
+		if err != nil {
+			return nil, fmt.Errorf("topdown: %w", err)
+		}
+		bestIdx, bestCost := -1, cost
+		for ci, cev := range evs {
+			if !cev.Satisfies {
+				continue
+			}
+			c, err := cev.Cost()
 			if err != nil {
-				node[i]++
 				return nil, fmt.Errorf("topdown: %w", err)
 			}
-			if len(small) <= budget {
-				c, err := algorithm.NodeCost(t, cfg, node)
-				if err != nil {
-					node[i]++
-					return nil, fmt.Errorf("topdown: %w", err)
-				}
-				if c < bestCost {
-					bestIdx, bestCost = i, c
-				}
+			if c < bestCost {
+				bestIdx, bestCost = idxs[ci], c
 			}
-			node[i]++
 		}
 		if bestIdx < 0 {
 			break
@@ -80,8 +95,10 @@ func (td *TopDown) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm
 		cost = bestCost
 		steps++
 	}
-	return algorithm.FinishGlobal(td.Name(), t, cfg, node, map[string]float64{
+	stats := map[string]float64{
 		"specializations": float64(steps),
 		"final_cost":      cost,
-	})
+	}
+	eng.Stats().MergeInto(stats)
+	return algorithm.FinishGlobal(td.Name(), t, cfg, node, stats)
 }

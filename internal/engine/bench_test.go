@@ -1,0 +1,99 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"microdata/internal/algorithm"
+	"microdata/internal/engine"
+	"microdata/internal/generator"
+	"microdata/internal/lattice"
+)
+
+// The tentpole benchmark: a full-lattice sweep (evaluate + cost for every
+// node, as the exhaustive search does) on the census generator, direct
+// ApplyNode/NodeCost pipeline vs. the engine. EXPERIMENTS.md records the
+// reproduced numbers. The engine timings INCLUDE engine construction
+// (fragment precomputation), so the speedup shown is end-to-end.
+
+func BenchmarkFullLatticeSweep(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		tab, err := generator.Generate(generator.Config{N: n, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := algorithm.Config{
+			K:              5,
+			Hierarchies:    generator.Hierarchies(),
+			Taxonomies:     generator.Taxonomies(),
+			MaxSuppression: 0.02,
+			Metric:         algorithm.MetricLM,
+		}
+		ml, err := cfg.Hierarchies.MaxLevels(tab.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes := lattice.Must(ml).Nodes()
+		b.Run(fmt.Sprintf("direct/n=%d", n), func(b *testing.B) {
+			runtime.GC() // isolate from the previous sub-benchmark's garbage
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, node := range nodes {
+					if _, err := algorithm.NodeCost(tab, cfg, node); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("engine/n=%d", n), func(b *testing.B) {
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := engine.New(tab, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				evs, err := eng.EvaluateAll(context.Background(), nodes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, ev := range evs {
+					if _, err := ev.Cost(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateCached measures the memoized path: repeated evaluation
+// of a hot node (what converged genetic populations pay per individual).
+func BenchmarkEvaluateCached(b *testing.B) {
+	tab, err := generator.Generate(generator.Config{N: 1000, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := algorithm.Config{
+		K:           5,
+		Hierarchies: generator.Hierarchies(),
+		Taxonomies:  generator.Taxonomies(),
+		Metric:      algorithm.MetricLM,
+	}
+	eng, err := engine.New(tab, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := eng.Lattice().Top()
+	if _, err := eng.Evaluate(context.Background(), node); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Evaluate(context.Background(), node); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

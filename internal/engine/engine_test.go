@@ -1,0 +1,201 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"microdata/internal/algorithm/algtest"
+	"microdata/internal/engine"
+	"microdata/internal/lattice"
+)
+
+func TestEngineCacheCountsAndLRU(t *testing.T) {
+	tab, cfg := algtest.PaperConfig(3)
+	eng, err := engine.New(tab, cfg, engine.WithCacheSize(2), engine.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a := lattice.Node{0, 0}
+	b := lattice.Node{1, 0}
+	c := lattice.Node{0, 1}
+	for _, n := range []lattice.Node{a, a, a} {
+		if _, err := eng.Evaluate(ctx, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := eng.Stats()
+	if s.CacheMisses != 1 || s.CacheHits != 2 || s.NodesEvaluated != 1 {
+		t.Fatalf("after repeated evaluation: %+v", s)
+	}
+	// Fill past the bound: a, b resident; evaluating c evicts the LRU (a).
+	if _, err := eng.Evaluate(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Evaluate(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.CacheLen(); got != 2 {
+		t.Fatalf("cache holds %d entries, want 2", got)
+	}
+	if _, err := eng.Evaluate(ctx, a); err != nil {
+		t.Fatal(err)
+	}
+	s = eng.Stats()
+	if s.CacheMisses != 4 { // a, b, c, then a again after eviction
+		t.Fatalf("misses = %d, want 4 (a must have been evicted): %+v", s.CacheMisses, s)
+	}
+	if s.RowsScanned != s.NodesEvaluated*int64(tab.Len()) {
+		t.Fatalf("rows scanned %d != nodes %d x N %d", s.RowsScanned, s.NodesEvaluated, tab.Len())
+	}
+}
+
+func TestEngineRejectsForeignNodes(t *testing.T) {
+	tab, cfg := algtest.PaperConfig(3)
+	eng, err := engine.New(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Evaluate(context.Background(), lattice.Node{99, 0}); err == nil {
+		t.Error("node outside the lattice must be rejected")
+	}
+	if _, err := eng.Evaluate(context.Background(), lattice.Node{0}); err == nil {
+		t.Error("node of wrong dimension must be rejected")
+	}
+}
+
+func TestEngineFragmentHelpers(t *testing.T) {
+	tab, cfg := algtest.PaperConfig(3)
+	eng, err := engine.New(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumQI() != 2 {
+		t.Fatalf("NumQI = %d, want 2", eng.NumQI())
+	}
+	// Per-row fragment ids must be as distinct as the generalized column.
+	for li := 0; li < eng.NumQI(); li++ {
+		for level := 0; level <= eng.Lattice().MaxLevels()[li]; level++ {
+			ids, err := eng.FragmentIDs(li, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != tab.Len() {
+				t.Fatalf("fragment ids cover %d rows, want %d", len(ids), tab.Len())
+			}
+			distinct := map[uint32]bool{}
+			for _, id := range ids {
+				distinct[id] = true
+			}
+			want, err := eng.DistinctAtLevel(li, level)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(distinct) != want {
+				t.Fatalf("attr %d level %d: %d distinct fragment ids, DistinctAtLevel says %d",
+					li, level, len(distinct), want)
+			}
+		}
+	}
+	if _, err := eng.FragmentIDs(0, 99); err == nil {
+		t.Error("out-of-range level must be rejected")
+	}
+	if _, err := eng.DistinctAtLevel(99, 0); err == nil {
+		t.Error("out-of-range attribute must be rejected")
+	}
+}
+
+func TestEvaluateAllAlignsWithInput(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(80, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(tab, cfg, engine.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := eng.Lattice().Nodes()
+	evs, err := eng.EvaluateAll(context.Background(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != len(nodes) {
+		t.Fatalf("got %d evaluations for %d nodes", len(evs), len(nodes))
+	}
+	for i, ev := range evs {
+		if ev == nil {
+			t.Fatalf("evaluation %d missing", i)
+		}
+		if !ev.Node.Equal(nodes[i]) {
+			t.Fatalf("evaluation %d is for node %v, want %v", i, ev.Node, nodes[i])
+		}
+	}
+	// A second pass is pure cache hits.
+	before := eng.Stats().NodesEvaluated
+	if _, err := eng.EvaluateAll(context.Background(), nodes); err != nil {
+		t.Fatal(err)
+	}
+	if after := eng.Stats().NodesEvaluated; after != before {
+		t.Fatalf("re-sweep evaluated %d new nodes, want 0", after-before)
+	}
+}
+
+func TestCostInfinityOverBudget(t *testing.T) {
+	tab, cfg := algtest.PaperConfig(3) // zero suppression budget
+	eng, err := engine.New(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := eng.Evaluate(context.Background(), eng.Lattice().Bottom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Satisfies {
+		t.Fatal("raw paper table is not 3-anonymous; bottom node must violate")
+	}
+	c, err := ev.Cost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(c, 1) {
+		t.Fatalf("over-budget node cost = %v, want +Inf", c)
+	}
+}
+
+func TestCanceledErrorShape(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(100, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.New(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accumulate some partial work first, then cancel mid-search.
+	nodes := eng.Lattice().Nodes()
+	if _, err := eng.EvaluateAll(context.Background(), nodes[:3]); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = eng.EvaluateAll(ctx, nodes)
+	if err == nil {
+		t.Fatal("cancelled sweep must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	var canceled *engine.Canceled
+	if !errors.As(err, &canceled) {
+		t.Fatalf("error %T is not *engine.Canceled", err)
+	}
+	if canceled.Stats.NodesEvaluated < 3 {
+		t.Fatalf("partial stats lost: %+v", canceled.Stats)
+	}
+	// Single-node path reports the same shape.
+	if _, err := eng.Evaluate(ctx, nodes[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Evaluate under cancelled ctx returned %v", err)
+	}
+}

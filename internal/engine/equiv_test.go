@@ -1,0 +1,121 @@
+package engine_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"microdata/internal/algorithm"
+	"microdata/internal/algorithm/algtest"
+	"microdata/internal/dataset"
+	"microdata/internal/engine"
+)
+
+// TestEngineMatchesDirectPipeline pins the tentpole guarantee: for EVERY
+// node of the lattice, the engine's partition, violating rows, constraint
+// verdict and cost are byte-identical to the direct ApplyNode/NodeCost
+// pipeline — across k-anonymity, ℓ-diversity (distinct, entropy and
+// recursive variants) and t-closeness, under all three utility metrics,
+// with and without a suppression budget.
+func TestEngineMatchesDirectPipeline(t *testing.T) {
+	paper, paperCfg := algtest.PaperConfig(3)
+	census, censusCfg, err := algtest.CensusConfig(120, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		tab  *dataset.Table
+		mut  func(*algorithm.Config)
+	}{
+		{"paper-k3-lm", paper, func(c *algorithm.Config) { *c = paperCfg }},
+		{"paper-k3-dm", paper, func(c *algorithm.Config) { *c = paperCfg; c.Metric = algorithm.MetricDM }},
+		{"paper-k3-prec", paper, func(c *algorithm.Config) { *c = paperCfg; c.Metric = algorithm.MetricPrec }},
+		{"census-k3-lm", census, func(c *algorithm.Config) { *c = censusCfg }},
+		{"census-k3-dm", census, func(c *algorithm.Config) { *c = censusCfg; c.Metric = algorithm.MetricDM }},
+		{"census-k3-prec", census, func(c *algorithm.Config) { *c = censusCfg; c.Metric = algorithm.MetricPrec }},
+		{"census-ldiv", census, func(c *algorithm.Config) { *c = censusCfg; c.MinLDiversity = 2 }},
+		{"census-entropy", census, func(c *algorithm.Config) { *c = censusCfg; c.MinEntropyL = 1.2 }},
+		{"census-recursive", census, func(c *algorithm.Config) { *c = censusCfg; c.RecursiveC = 2; c.RecursiveL = 2 }},
+		{"census-tclose", census, func(c *algorithm.Config) { *c = censusCfg; c.MaxTCloseness = 0.6 }},
+		{"census-nosupp-dm", census, func(c *algorithm.Config) { *c = censusCfg; c.MaxSuppression = 0; c.Metric = algorithm.MetricDM }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var cfg algorithm.Config
+			tc.mut(&cfg)
+			eng, err := engine.New(tc.tab, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			budget := cfg.Budget(tc.tab.Len())
+			ctx := context.Background()
+			for _, n := range eng.Lattice().Nodes() {
+				_, p, small, err := algorithm.ApplyNode(tc.tab, cfg, n)
+				if err != nil {
+					t.Fatalf("node %v: direct ApplyNode: %v", n, err)
+				}
+				ev, err := eng.Evaluate(ctx, n)
+				if err != nil {
+					t.Fatalf("node %v: engine: %v", n, err)
+				}
+				if !reflect.DeepEqual(p.Classes, ev.Partition.Classes) {
+					t.Fatalf("node %v: partitions differ:\ndirect %v\nengine %v", n, p.Classes, ev.Partition.Classes)
+				}
+				if !reflect.DeepEqual(p.ClassOf, ev.Partition.ClassOf) {
+					t.Fatalf("node %v: class assignment differs", n)
+				}
+				if len(small) != len(ev.Bad) || (len(small) > 0 && !reflect.DeepEqual(small, ev.Bad)) {
+					t.Fatalf("node %v: violating rows differ:\ndirect %v\nengine %v", n, small, ev.Bad)
+				}
+				if ev.Satisfies != (len(small) <= budget) {
+					t.Fatalf("node %v: verdict %v, direct says %v", n, ev.Satisfies, len(small) <= budget)
+				}
+				wantCost, wantErr := algorithm.NodeCost(tc.tab, cfg, n)
+				gotCost, gotErr := ev.Cost()
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("node %v: cost errors differ: direct %v, engine %v", n, wantErr, gotErr)
+				}
+				if wantErr == nil && wantCost != gotCost {
+					// Exact float equality is intentional: the engine must
+					// replicate the direct pipeline's arithmetic bit for bit.
+					t.Fatalf("node %v: cost %v != direct %v", n, gotCost, wantCost)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineMatchesDirectOnLargerBudget stresses the suppressed-partition
+// path: a generous budget makes many nodes admissible WITH suppressed rows,
+// so DM must rebuild the post-suppression partition and LM must charge the
+// suppressed rows as all-stars — both byte-identical to the direct path.
+func TestEngineMatchesDirectOnLargerBudget(t *testing.T) {
+	census, cfg, err := algtest.CensusConfig(90, 6, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxSuppression = 0.25
+	for _, m := range []algorithm.Metric{algorithm.MetricLM, algorithm.MetricDM} {
+		cfg.Metric = m
+		eng, err := engine.New(census, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range eng.Lattice().Nodes() {
+			ev, err := eng.Evaluate(context.Background(), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCost, wantErr := algorithm.NodeCost(census, cfg, n)
+			gotCost, gotErr := ev.Cost()
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%v node %v: cost errors differ: %v vs %v", m, n, wantErr, gotErr)
+			}
+			if wantErr == nil && wantCost != gotCost {
+				t.Fatalf("%v node %v: cost %v != direct %v", m, n, gotCost, wantCost)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of the engine's counters. The phase timings are
+// cumulative wall time spent inside the phase; under parallel batch
+// evaluation the evaluation timing sums across workers and can exceed
+// elapsed wall time.
+type Stats struct {
+	// NodesEvaluated counts full node evaluations (cache misses that ran
+	// the signature-assembly + partition + constraint pipeline).
+	NodesEvaluated int64
+	// CacheHits and CacheMisses count memoized-cache lookups.
+	CacheHits   int64
+	CacheMisses int64
+	// RowsScanned counts table rows processed by node evaluations
+	// (NodesEvaluated × N for a fixed table).
+	RowsScanned int64
+	// Precompute is the time spent building the per-attribute, per-level
+	// generalization fragments at engine construction.
+	Precompute time.Duration
+	// Evaluation is the cumulative time spent evaluating nodes.
+	Evaluation time.Duration
+}
+
+// String renders the counters in one line for logs and reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("nodes=%d hits=%d misses=%d rows=%d precompute=%v eval=%v",
+		s.NodesEvaluated, s.CacheHits, s.CacheMisses, s.RowsScanned, s.Precompute, s.Evaluation)
+}
+
+// MergeInto folds the counters into an algorithm Result.Stats map under
+// engine_* keys (durations in milliseconds).
+func (s Stats) MergeInto(m map[string]float64) {
+	if m == nil {
+		return
+	}
+	m["engine_nodes_evaluated"] = float64(s.NodesEvaluated)
+	m["engine_cache_hits"] = float64(s.CacheHits)
+	m["engine_cache_misses"] = float64(s.CacheMisses)
+	m["engine_rows_scanned"] = float64(s.RowsScanned)
+	m["engine_precompute_ms"] = float64(s.Precompute) / float64(time.Millisecond)
+	m["engine_eval_ms"] = float64(s.Evaluation) / float64(time.Millisecond)
+}
+
+// counters is the engine's live, atomically-updated view of Stats.
+type counters struct {
+	nodesEvaluated  atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	rowsScanned     atomic.Int64
+	precomputeNanos atomic.Int64
+	evalNanos       atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		NodesEvaluated: c.nodesEvaluated.Load(),
+		CacheHits:      c.cacheHits.Load(),
+		CacheMisses:    c.cacheMisses.Load(),
+		RowsScanned:    c.rowsScanned.Load(),
+		Precompute:     time.Duration(c.precomputeNanos.Load()),
+		Evaluation:     time.Duration(c.evalNanos.Load()),
+	}
+}
+
+// Canceled is the error a cancelled engine operation returns: it wraps the
+// context error (errors.Is(err, context.Canceled) holds) and carries the
+// partial counters accumulated before the cancellation, so long searches
+// abort promptly but still report how far they got.
+type Canceled struct {
+	// Stats is the engine's counter snapshot at cancellation time.
+	Stats Stats
+	err   error
+}
+
+// Error implements error.
+func (c *Canceled) Error() string {
+	return fmt.Sprintf("engine: evaluation stopped after %d nodes: %v", c.Stats.NodesEvaluated, c.err)
+}
+
+// Unwrap exposes the underlying context error.
+func (c *Canceled) Unwrap() error { return c.err }

@@ -69,6 +69,49 @@ func FromColumns(t *dataset.Table, cols []int) (*Partition, error) {
 	return p, nil
 }
 
+// FromSignatures groups rows by a precomputed per-row signature — the
+// partition FromColumns would produce if element i were the concatenation
+// of row i's column keys. It is the constructor behind package engine's
+// signature-fragment evaluation: callers assemble signatures from
+// precomputed per-level fragments instead of materializing a generalized
+// table. Classes are ordered by first appearance, exactly as FromColumns
+// orders them.
+func FromSignatures(sigs []string) (*Partition, error) {
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("eqclass: no signatures to partition on")
+	}
+	p := &Partition{
+		ClassOf: make([]int, len(sigs)),
+		n:       len(sigs),
+	}
+	index := make(map[string]int)
+	var counts []int
+	for i, sig := range sigs {
+		ci, ok := index[sig]
+		if !ok {
+			ci = len(counts)
+			index[sig] = ci
+			counts = append(counts, 0)
+		}
+		counts[ci]++
+		p.ClassOf[i] = ci
+	}
+	// Carve every class out of one backing array sized by the counts from
+	// the first pass; growing each class append-by-append reallocates
+	// O(log class-size) times per class, which dominates large sweeps.
+	backing := make([]int, len(sigs))
+	p.Classes = make([][]int, len(counts))
+	off := 0
+	for ci, c := range counts {
+		p.Classes[ci] = backing[off : off : off+c]
+		off += c
+	}
+	for i, ci := range p.ClassOf {
+		p.Classes[ci] = append(p.Classes[ci], i)
+	}
+	return p, nil
+}
+
 // FromGroups builds a partition directly from explicit row groups, used by
 // local-recoding algorithms (Mondrian) that know their partition without a
 // signature pass. Groups must cover 0..n-1 exactly once.

@@ -234,6 +234,40 @@ func (l *Lattice) AtHeight(h int) []Node {
 	return out
 }
 
+// Between enumerates the nodes n of the sublattice [bottom, top] (that is,
+// bottom <= n <= top component-wise) whose height equals h, in
+// lexicographic order. It is the stratum iterator the divide-and-conquer
+// searches (OLA) recurse on; Between(l.Bottom(), l.Top(), h) coincides with
+// l.AtHeight(h). Mismatched vectors or an unreachable height return nil.
+func Between(bottom, top Node, h int) []Node {
+	if len(bottom) != len(top) || !bottom.AtMost(top) {
+		return nil
+	}
+	var out []Node
+	n := bottom.Clone()
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if i == len(n)-1 {
+			v := bottom[i] + remaining
+			if v <= top[i] {
+				n[i] = v
+				out = append(out, n.Clone())
+			}
+			return
+		}
+		max := top[i] - bottom[i]
+		if max > remaining {
+			max = remaining
+		}
+		for d := 0; d <= max; d++ {
+			n[i] = bottom[i] + d
+			rec(i+1, remaining-d)
+		}
+	}
+	rec(0, h-bottom.Height())
+	return out
+}
+
 // GeneralizationOrderConsistent reports whether raising levels can only
 // merge equivalence classes, expressed as a check the property-based tests
 // rely on: for nodes a <= b, every pair of tuples identical under a must be
