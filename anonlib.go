@@ -38,6 +38,7 @@
 package microdata
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -67,6 +68,7 @@ import (
 	"microdata/internal/paperdata"
 	"microdata/internal/privacy"
 	"microdata/internal/stats"
+	"microdata/internal/telemetry"
 	"microdata/internal/utility"
 	"microdata/internal/workload"
 )
@@ -536,3 +538,61 @@ func RunExperiment(w io.Writer, id string, opts ExperimentOptions) error {
 func RunAllExperiments(w io.Writer, opts ExperimentOptions) error {
 	return experiment.RunAll(w, opts)
 }
+
+// RunExperimentContext is RunExperiment honoring a context; the experiment
+// runs under a telemetry span.
+func RunExperimentContext(ctx context.Context, w io.Writer, id string, opts ExperimentOptions) error {
+	return experiment.RunByIDContext(ctx, w, id, opts)
+}
+
+// RunAllExperimentsContext is RunAllExperiments honoring a context.
+func RunAllExperimentsContext(ctx context.Context, w io.Writer, opts ExperimentOptions) error {
+	return experiment.RunAllContext(ctx, w, opts)
+}
+
+// Observability (internal/telemetry): hierarchical tracing spans, a
+// concurrency-safe metrics registry, and structured logging on log/slog.
+// Telemetry is disabled by default (a disabled span site costs ~1–2 ns);
+// installing a collector with SetTelemetryCollector turns on span
+// recording and process-wide metric aggregation. See README "Observability".
+type (
+	// TelemetryCollector bundles a span tracer and a process-wide
+	// metrics registry.
+	TelemetryCollector = telemetry.Collector
+	// TelemetryOption configures a collector (e.g. WithTelemetryClock).
+	TelemetryOption = telemetry.CollectorOption
+	// Span is one timed operation in a trace tree.
+	Span = telemetry.Span
+	// SpanAttr is a key/value span annotation.
+	SpanAttr = telemetry.Attr
+	// Tracer records finished spans and exports Chrome trace_event JSON.
+	Tracer = telemetry.Tracer
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a JSON-ready point-in-time registry view.
+	MetricsSnapshot = telemetry.Snapshot
+)
+
+// Telemetry constructors and helpers.
+var (
+	NewTelemetryCollector = telemetry.NewCollector
+	SetTelemetryCollector = telemetry.SetCollector
+	ActiveTelemetry       = telemetry.Active
+	TelemetryEnabled      = telemetry.Enabled
+	WithTelemetryClock    = telemetry.WithClock
+	StartSpan             = telemetry.Start
+	SpanFromContext       = telemetry.SpanFromContext
+	SpanDepth             = telemetry.Depth
+	SpanMaxDepth          = telemetry.MaxDepth
+	SpanSubtreeDurations  = telemetry.SubtreeDurations
+	NewMetricsRegistry    = telemetry.NewRegistry
+	NewRunMetricsRegistry = telemetry.NewRunRegistry
+	SpanString            = telemetry.String
+	SpanInt               = telemetry.Int
+	SpanInt64             = telemetry.Int64
+	SpanFloat             = telemetry.Float
+	SpanBool              = telemetry.Bool
+	TelemetryLogger       = telemetry.L
+	SetLogHandler         = telemetry.SetLogHandler
+	NewLogHandler         = telemetry.NewLogHandler
+)

@@ -1,4 +1,4 @@
-// Command anonbench runs the paper-reproduction experiments (E1–E15): the
+// Command anonbench runs the paper-reproduction experiments (E1–E19): the
 // tables and figures of "On the Comparison of Microdata Disclosure Control
 // Algorithms" (EDBT 2009) plus the scaled algorithm-comparison studies.
 //
@@ -8,14 +8,26 @@
 //	anonbench -run E4
 //	anonbench -run all -n 5000 -ks 2,5,10,25,50 -seed 7
 //	anonbench -enginestats -n 10000 -ks 5
+//
+// Observability (see README "Observability"):
+//
+//	anonbench -run E14 -v -log-format json
+//	anonbench -run E1 -trace trace.json -metrics metrics.json
+//	anonbench -enginestats -n 5000 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"microdata"
 )
@@ -23,46 +35,162 @@ import (
 func main() {
 	var (
 		list    = flag.Bool("list", false, "list experiments and exit")
-		run     = flag.String("run", "all", "experiment id (E1..E15) or \"all\"")
+		run     = flag.String("run", "all", "experiment id (E1..E19) or \"all\"")
 		n       = flag.Int("n", 1000, "synthetic census size for E14/E15")
 		ks      = flag.String("ks", "2,5,10,25,50", "comma-separated k sweep for E14/E15")
 		seed    = flag.Int64("seed", 1, "seed for the census draw and stochastic algorithms")
 		engStat = flag.Bool("enginestats", false, "run every algorithm once on the census draw (first k of -ks) and print the evaluation-engine counters")
+
+		verbose    = flag.Bool("v", false, "enable debug-level structured logging on stderr")
+		logFormat  = flag.String("log-format", "", "structured log format: text or json (implies logging even without -v)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run's spans (load in chrome://tracing or Perfetto)")
+		metricsOut = flag.String("metrics", "", "write a metrics snapshot JSON file (\"-\" for stdout)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	kVals, err := parseKs(*ks)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "anonbench:", err)
-		os.Exit(2)
-	}
-	opts := microdata.ExperimentOptions{CensusN: *n, Ks: kVals, Seed: *seed}
-
-	if *engStat {
-		if err := engineStats(os.Stdout, *n, kVals[0], *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "anonbench:", err)
-			os.Exit(1)
-		}
-		return
-	}
-
-	if *list {
-		fmt.Println("Experiments (see DESIGN.md for the per-experiment index):")
-		for _, e := range microdata.Experiments(opts) {
-			fmt.Printf("  %-4s %-62s [%s]\n", e.ID, e.Title, e.Artifact)
-		}
-		return
-	}
-
-	if *run == "all" {
-		err = microdata.RunAllExperiments(os.Stdout, opts)
-	} else {
-		err = microdata.RunExperiment(os.Stdout, *run, opts)
-	}
-	if err != nil {
+	if err := realMain(options{
+		list: *list, run: *run, n: *n, ks: *ks, seed: *seed, engStat: *engStat,
+		verbose: *verbose, logFormat: *logFormat,
+		traceOut: *traceOut, metricsOut: *metricsOut,
+		cpuProfile: *cpuProfile, memProfile: *memProfile,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "anonbench:", err)
 		os.Exit(1)
 	}
+}
+
+type options struct {
+	list                   bool
+	run                    string
+	n                      int
+	ks                     string
+	seed                   int64
+	engStat                bool
+	verbose                bool
+	logFormat              string
+	traceOut, metricsOut   string
+	cpuProfile, memProfile string
+}
+
+// realMain wires the observability sinks around the selected mode so every
+// mode (-run, -list, -enginestats) profiles and traces the same way.
+func realMain(o options) error {
+	kVals, err := parseKs(o.ks)
+	if err != nil {
+		return err
+	}
+	opts := microdata.ExperimentOptions{CensusN: o.n, Ks: kVals, Seed: o.seed}
+
+	if o.verbose || o.logFormat != "" {
+		h, err := microdata.NewLogHandler(os.Stderr, o.logFormat, o.verbose)
+		if err != nil {
+			return err
+		}
+		microdata.SetLogHandler(h)
+	}
+
+	// A collector is installed whenever any span consumer is active:
+	// -trace and -metrics need it, and -enginestats derives its per-phase
+	// breakdown from the recorded spans.
+	var col *microdata.TelemetryCollector
+	if o.traceOut != "" || o.metricsOut != "" || o.engStat {
+		col = microdata.NewTelemetryCollector()
+		microdata.SetTelemetryCollector(col)
+		defer microdata.SetTelemetryCollector(nil)
+	}
+
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProfile != "" {
+		defer func() {
+			f, err := os.Create(o.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "anonbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "anonbench: memprofile:", err)
+			}
+		}()
+	}
+
+	// Sinks flush after the mode body returns (and after the run root span
+	// ends), so the deferred writers run last-in-first-out before the
+	// profile defers above.
+	var runErr error
+	func() {
+		ctx, sp := microdata.StartSpan(context.Background(), "anonbench.run",
+			microdata.SpanString("mode", mode(o)),
+			microdata.SpanInt("n", o.n), microdata.SpanInt64("seed", o.seed))
+		defer sp.End()
+
+		switch {
+		case o.engStat:
+			runErr = engineStats(ctx, os.Stdout, o.n, kVals[0], o.seed, col)
+		case o.list:
+			fmt.Println("Experiments (see DESIGN.md for the per-experiment index):")
+			for _, e := range microdata.Experiments(opts) {
+				fmt.Printf("  %-4s %-62s [%s]\n", e.ID, e.Title, e.Artifact)
+			}
+		case o.run == "all":
+			runErr = microdata.RunAllExperimentsContext(ctx, os.Stdout, opts)
+		default:
+			runErr = microdata.RunExperimentContext(ctx, os.Stdout, o.run, opts)
+		}
+	}()
+
+	if col != nil && o.traceOut != "" {
+		if err := writeFileOrStdout(o.traceOut, col.Tracer.WriteChromeTrace); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if col != nil && o.metricsOut != "" {
+		snap := col.Metrics.Snapshot()
+		if err := writeFileOrStdout(o.metricsOut, snap.WriteJSON); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	return runErr
+}
+
+func mode(o options) string {
+	switch {
+	case o.engStat:
+		return "enginestats"
+	case o.list:
+		return "list"
+	default:
+		return "run:" + o.run
+	}
+}
+
+// writeFileOrStdout streams write to path, or to stdout when path is "-".
+func writeFileOrStdout(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // engineStats runs every registered algorithm once on a synthetic census
@@ -70,7 +198,10 @@ func main() {
 // Result.Stats: nodes evaluated, cache hits/misses, rows scanned, and the
 // precompute/evaluation wall time. Algorithms that never touch the lattice
 // (the local-recoding ones) report no engine_* counters and are marked so.
-func engineStats(w *os.File, n, k int, seed int64) error {
+// With the telemetry collector installed it also prints a per-phase
+// wall-clock breakdown (precompute/search/materialize) derived from the
+// recorded spans.
+func engineStats(ctx context.Context, w io.Writer, n, k int, seed int64, col *microdata.TelemetryCollector) error {
 	tab, err := microdata.Generate(microdata.GeneratorConfig{N: n, Seed: seed})
 	if err != nil {
 		return err
@@ -91,7 +222,7 @@ func engineStats(w *os.File, n, k int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		r, err := alg.Anonymize(tab, cfg)
+		r, err := microdata.AnonymizeContext(ctx, alg, tab, cfg)
 		if err != nil {
 			return err
 		}
@@ -104,8 +235,51 @@ func engineStats(w *os.File, n, k int, seed int64) error {
 			r.Stats["engine_cache_misses"], r.Stats["engine_rows_scanned"],
 			r.Stats["engine_precompute_ms"], r.Stats["engine_eval_ms"])
 	}
+	if col != nil {
+		writePhaseBreakdown(w, col)
+	}
 	return nil
 }
+
+// writePhaseBreakdown prints the wall-clock split of each algorithm's run:
+// engine precompute, the search proper, and result materialization, all
+// read off the span tree (search = root span minus instrumented subtrees).
+func writePhaseBreakdown(w io.Writer, col *microdata.TelemetryCollector) {
+	spans := col.Tracer.Finished()
+	type row struct {
+		name                             string
+		total, precompute, search, mater time.Duration
+	}
+	var rows []row
+	for _, sp := range spans {
+		name, ok := strings.CutSuffix(sp.Name, ".search")
+		if !ok {
+			continue
+		}
+		sub := microdata.SpanSubtreeDurations(spans, sp)
+		r := row{
+			name:       name,
+			total:      sp.Duration(),
+			precompute: sub["engine.precompute"],
+			mater:      sub["algorithm.materialize"],
+		}
+		r.search = r.total - r.precompute - r.mater
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		return
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Fprintf(w, "\nper-phase wall clock from telemetry spans\n")
+	fmt.Fprintf(w, "%-20s %10s %12s %10s %12s\n",
+		"algorithm", "total-ms", "precomp-ms", "search-ms", "material-ms")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %10.1f %12.1f %10.1f %12.1f\n", r.name,
+			ms(r.total), ms(r.precompute), ms(r.search), ms(r.mater))
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 func parseKs(s string) ([]int, error) {
 	var out []int

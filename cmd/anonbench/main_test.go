@@ -1,7 +1,12 @@
 package main
 
 import (
+	"context"
+	"regexp"
+	"strings"
 	"testing"
+
+	"microdata"
 )
 
 func TestParseKs(t *testing.T) {
@@ -17,5 +22,68 @@ func TestParseKs(t *testing.T) {
 		if _, err := parseKs(bad); err == nil {
 			t.Errorf("parseKs(%q) should fail", bad)
 		}
+	}
+}
+
+// TestEngineStatsOutputByteCompatible pins the -enginestats counters table
+// format: the header lines are byte-identical to the pre-telemetry output
+// and every algorithm row matches the original column layout. The
+// telemetry-derived phase table only APPENDS after the counters table.
+func TestEngineStatsOutputByteCompatible(t *testing.T) {
+	var plain strings.Builder
+	if err := engineStats(context.Background(), &plain, 200, 3, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(plain.String(), "\n"), "\n")
+	if lines[0] != "evaluation-engine counters (census N=200, k=3, seed=1)" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	wantHeader := "algorithm             evaluated       hits     misses         rows   pre-ms  eval-ms"
+	if lines[1] != wantHeader {
+		t.Errorf("header = %q\n  want   %q", lines[1], wantHeader)
+	}
+	names := microdata.AlgorithmNames()
+	if got := len(lines) - 2; got != len(names) {
+		t.Fatalf("counters table has %d rows, want %d", got, len(names))
+	}
+	engineRow := regexp.MustCompile(`^\S[^ ]* + *\d+ +\d+ +\d+ +\d+ + *\d+\.\d +\d+\.\d$`)
+	localRow := regexp.MustCompile(`^\S[^ ]* +\(local recoding: no engine\)$`)
+	for i, line := range lines[2:] {
+		if !strings.HasPrefix(line, names[i]) {
+			t.Errorf("row %d = %q, want algorithm %q first", i, line, names[i])
+		}
+		if !engineRow.MatchString(line) && !localRow.MatchString(line) {
+			t.Errorf("row does not match pre-telemetry layout: %q", line)
+		}
+	}
+
+	// With a collector installed the counters table keeps the same shape
+	// and the per-phase span breakdown is appended after it.
+	col := microdata.NewTelemetryCollector()
+	prev := microdata.SetTelemetryCollector(col)
+	defer microdata.SetTelemetryCollector(prev)
+	var traced strings.Builder
+	if err := engineStats(context.Background(), &traced, 200, 3, 1, col); err != nil {
+		t.Fatal(err)
+	}
+	got := traced.String()
+	if !strings.HasPrefix(got, lines[0]+"\n"+lines[1]+"\n") {
+		t.Error("collector run changed the counters table header")
+	}
+	idx := strings.Index(got, "\nper-phase wall clock from telemetry spans\n")
+	if idx < 0 {
+		t.Fatal("phase breakdown missing from collector run")
+	}
+	table := strings.Split(strings.TrimRight(got[:idx], "\n"), "\n")
+	if len(table) != len(lines) {
+		t.Errorf("counters table grew from %d to %d lines with collector installed", len(lines), len(table))
+	}
+	phaseHeader := "algorithm              total-ms   precomp-ms  search-ms  material-ms"
+	if !strings.Contains(got[idx:], phaseHeader) {
+		t.Errorf("phase table header missing; got tail %q", got[idx:])
+	}
+	phaseRows := strings.Count(strings.TrimRight(got[idx:], "\n"), "\n") - 2
+	if phaseRows != len(names) {
+		t.Errorf("phase table has %d rows, want one per algorithm (%d)", phaseRows, len(names))
 	}
 }

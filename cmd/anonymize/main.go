@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,8 +31,19 @@ func main() {
 		k     = flag.Int("k", 5, "k-anonymity requirement")
 		sup   = flag.Float64("sup", 0.05, "maximum suppression fraction")
 		seed  = flag.Int64("seed", 1, "seed for -gen and stochastic algorithms")
+
+		verbose   = flag.Bool("v", false, "enable debug-level structured logging on stderr")
+		logFormat = flag.String("log-format", "", "structured log format: text or json (implies logging even without -v)")
 	)
 	flag.Parse()
+	if *verbose || *logFormat != "" {
+		h, err := microdata.NewLogHandler(os.Stderr, *logFormat, *verbose)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "anonymize:", err)
+			os.Exit(2)
+		}
+		microdata.SetLogHandler(h)
+	}
 	if err := run(*in, *gen, *out, *alg, *k, *sup, *seed, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "anonymize:", err)
 		os.Exit(1)
@@ -67,7 +79,7 @@ func run(in string, gen int, out, algName string, k int, sup float64, seed int64
 	if err != nil {
 		return err
 	}
-	res, err := a.Anonymize(tab, microdata.AlgorithmConfig{
+	res, err := microdata.AnonymizeContext(context.Background(), a, tab, microdata.AlgorithmConfig{
 		K:              k,
 		Hierarchies:    microdata.CensusHierarchies(),
 		MaxSuppression: sup,

@@ -24,8 +24,19 @@ func main() {
 		a     = flag.String("a", "", "first anonymization CSV")
 		b     = flag.String("b", "", "second anonymization CSV")
 		paper = flag.Bool("paper", false, "compare the paper's published tables instead of files")
+
+		verbose   = flag.Bool("v", false, "enable debug-level structured logging on stderr")
+		logFormat = flag.String("log-format", "", "structured log format: text or json (implies logging even without -v)")
 	)
 	flag.Parse()
+	if *verbose || *logFormat != "" {
+		h, err := microdata.NewLogHandler(os.Stderr, *logFormat, *verbose)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "compare:", err)
+			os.Exit(2)
+		}
+		microdata.SetLogHandler(h)
+	}
 	if err := run(os.Stdout, *orig, *a, *b, *paper); err != nil {
 		fmt.Fprintln(os.Stderr, "compare:", err)
 		os.Exit(1)

@@ -16,6 +16,7 @@ import (
 	"microdata/internal/hierarchy"
 	"microdata/internal/lattice"
 	"microdata/internal/privacy"
+	"microdata/internal/telemetry"
 	"microdata/internal/utility"
 )
 
@@ -378,6 +379,16 @@ func ApplyNode(t *dataset.Table, cfg Config, node lattice.Node) (*dataset.Table,
 // package the Result. It fails when the node needs more suppression than
 // cfg.MaxSuppression permits.
 func FinishGlobal(name string, t *dataset.Table, cfg Config, node lattice.Node, stats map[string]float64) (*Result, error) {
+	return FinishGlobalContext(context.Background(), name, t, cfg, node, stats)
+}
+
+// FinishGlobalContext is FinishGlobal under the caller's telemetry
+// context: the one-time table materialization is traced as an
+// "algorithm.materialize" span, the third phase of the standard
+// precompute / search / materialize breakdown.
+func FinishGlobalContext(ctx context.Context, name string, t *dataset.Table, cfg Config, node lattice.Node, stats map[string]float64) (*Result, error) {
+	_, sp := telemetry.Start(ctx, "algorithm.materialize", telemetry.String("algorithm", name))
+	defer sp.End()
 	anon, p, small, err := ApplyNode(t, cfg, node)
 	if err != nil {
 		return nil, err

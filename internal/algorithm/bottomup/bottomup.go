@@ -24,6 +24,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/engine"
 	"microdata/internal/lattice"
+	"microdata/internal/telemetry"
 )
 
 // BottomUp is the benefit/cost-guided climbing anonymizer.
@@ -43,7 +44,11 @@ func (bu *BottomUp) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorith
 // AnonymizeContext implements algorithm.ContextAlgorithm; the climb aborts
 // with the context's error as soon as cancellation is seen.
 func (bu *BottomUp) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	eng, err := engine.New(t, cfg)
+	ctx, sp := telemetry.Start(ctx, "bottomup.search", telemetry.Int("k", cfg.K))
+	defer sp.End()
+	reg := telemetry.NewRunRegistry()
+	stepsC := reg.Counter("bottomup.generalization_steps")
+	eng, err := engine.NewContext(ctx, t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("bottomup: %w", err)
 	}
@@ -89,7 +94,6 @@ func (bu *BottomUp) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg 
 	if err != nil {
 		return nil, fmt.Errorf("bottomup: %w", err)
 	}
-	steps := 0
 	for len(small) > budget {
 		// Score each one-level climb by privacy gain (deficit reduction
 		// plus violating-row reduction) per unit of information lost. The
@@ -136,11 +140,12 @@ func (bu *BottomUp) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg 
 		}
 		node[bestIdx]++
 		small, deficit, loss = bestSmall, bestDeficit, bestLoss
-		steps++
+		stepsC.Inc()
 	}
-	stats := map[string]float64{
-		"generalization_steps": float64(steps),
-	}
+	stats := map[string]float64{}
+	reg.Snapshot().MergeInto(stats, "bottomup.")
 	eng.Stats().MergeInto(stats)
-	return algorithm.FinishGlobal(bu.Name(), t, cfg, node, stats)
+	telemetry.L().Info("bottomup: climb complete",
+		"steps", stepsC.Value(), "node", fmt.Sprint(node), "engine", eng.Stats().String())
+	return algorithm.FinishGlobalContext(ctx, bu.Name(), t, cfg, node, stats)
 }

@@ -8,6 +8,7 @@ import (
 	"microdata/internal/algorithm"
 	"microdata/internal/algorithm/algtest"
 	"microdata/internal/algorithm/mondrian"
+	"microdata/internal/dataset"
 	"microdata/internal/algorithm/optimal"
 	"microdata/internal/algorithm/samarati"
 	"microdata/internal/engine"
@@ -56,6 +57,16 @@ func TestAnonymizeContextCompletesUncancelled(t *testing.T) {
 	}
 }
 
+// fallbackAlg wraps an algorithm while hiding its context entry point, so
+// the AnonymizeContext fallback path stays exercised now that every shipped
+// algorithm implements ContextAlgorithm.
+type fallbackAlg struct{ inner algorithm.Algorithm }
+
+func (f fallbackAlg) Name() string { return f.inner.Name() }
+func (f fallbackAlg) Anonymize(tab *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	return f.inner.Anonymize(tab, cfg)
+}
+
 // TestAnonymizeContextFallback: algorithms without a context entry point
 // still run to completion under a live context, and refuse to start under
 // a cancelled one.
@@ -64,9 +75,9 @@ func TestAnonymizeContextFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alg := mondrian.New() // local recoding: no engine, no context support
+	alg := fallbackAlg{mondrian.New()}
 	if _, ok := interface{}(alg).(algorithm.ContextAlgorithm); ok {
-		t.Fatal("test premise broken: mondrian now implements ContextAlgorithm; pick another fallback algorithm")
+		t.Fatal("test premise broken: fallbackAlg must not implement ContextAlgorithm")
 	}
 	if _, err := algorithm.AnonymizeContext(context.Background(), alg, tab, cfg); err != nil {
 		t.Fatalf("fallback run failed: %v", err)
@@ -75,6 +86,21 @@ func TestAnonymizeContextFallback(t *testing.T) {
 	cancel()
 	if _, err := algorithm.AnonymizeContext(ctx, alg, tab, cfg); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled fallback returned %v, want context.Canceled wrap", err)
+	}
+}
+
+// TestMondrianContextCancellation: mondrian's recursive partitioning (a
+// local recoding with no engine) also honours cancellation now that it
+// implements ContextAlgorithm.
+func TestMondrianContextCancellation(t *testing.T) {
+	tab, cfg, err := algtest.CensusConfig(60, 3, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mondrian.New().AnonymizeContext(ctx, tab, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled mondrian returned %v, want context.Canceled wrap", err)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/engine"
 	"microdata/internal/lattice"
+	"microdata/internal/telemetry"
 )
 
 // Datafly is Sweeney's heuristic k-anonymizer.
@@ -40,13 +41,16 @@ func (d *Datafly) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.
 // AnonymizeContext implements algorithm.ContextAlgorithm; the greedy walk
 // aborts with the context's error as soon as cancellation is seen.
 func (d *Datafly) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	eng, err := engine.New(t, cfg)
+	ctx, sp := telemetry.Start(ctx, "datafly.search", telemetry.Int("k", cfg.K))
+	defer sp.End()
+	reg := telemetry.NewRunRegistry()
+	steps := reg.Counter("datafly.generalization_steps")
+	eng, err := engine.NewContext(ctx, t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("datafly: %w", err)
 	}
 	maxLevels := eng.Lattice().MaxLevels()
 	node := make(lattice.Node, eng.NumQI())
-	steps := 0
 	for {
 		ev, err := eng.Evaluate(ctx, node)
 		if err != nil {
@@ -74,11 +78,12 @@ func (d *Datafly) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg al
 			return nil, fmt.Errorf("datafly: cannot reach %d-anonymity even at full generalization with suppression budget %d", cfg.K, eng.Budget())
 		}
 		node[best]++
-		steps++
+		steps.Inc()
 	}
-	stats := map[string]float64{
-		"generalization_steps": float64(steps),
-	}
+	stats := map[string]float64{}
+	reg.Snapshot().MergeInto(stats, "datafly.")
 	eng.Stats().MergeInto(stats)
-	return algorithm.FinishGlobal(d.Name(), t, cfg, node, stats)
+	telemetry.L().Info("datafly: search complete",
+		"steps", steps.Value(), "node", fmt.Sprint(node), "engine", eng.Stats().String())
+	return algorithm.FinishGlobalContext(ctx, d.Name(), t, cfg, node, stats)
 }

@@ -25,6 +25,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/engine"
 	"microdata/internal/lattice"
+	"microdata/internal/telemetry"
 )
 
 // Crossover selects the recombination operator.
@@ -100,7 +101,12 @@ func (g *GA) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Resul
 // AnonymizeContext implements algorithm.ContextAlgorithm; the evolution
 // aborts with the context's error as soon as cancellation is seen.
 func (g *GA) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	eng, err := engine.New(t, cfg)
+	ctx, sp := telemetry.Start(ctx, g.Name()+".search",
+		telemetry.Int("k", cfg.K), telemetry.String("crossover", g.Crossover.String()))
+	defer sp.End()
+	reg := telemetry.NewRunRegistry()
+	evalsC := reg.Counter(g.Name() + ".fitness_evaluations")
+	eng, err := engine.NewContext(ctx, t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("genetic: %w", err)
 	}
@@ -128,13 +134,12 @@ func (g *GA) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorit
 	// generations nearly free without changing any outcome. The local map
 	// also keeps the fitness_evaluations stat counting distinct
 	// chromosomes, independent of the engine's own memo cache.
-	evals := 0
 	cache := map[string]float64{}
 	fitness := func(n lattice.Node) (float64, error) {
 		if f, ok := cache[n.Key()]; ok {
 			return f, nil
 		}
-		evals++
+		evalsC.Inc()
 		ev, err := eng.Evaluate(ctx, n)
 		if err != nil {
 			return 0, err
@@ -242,13 +247,14 @@ func (g *GA) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorit
 	if !bestEv.Satisfies {
 		return nil, fmt.Errorf("genetic: best individual %v infeasible (%d > budget %d)", best, len(bestEv.Bad), budget)
 	}
-	stats := map[string]float64{
-		"fitness_evaluations": float64(evals),
-		"generations":         float64(gens),
-		"best_fitness":        bestFit,
-	}
+	reg.Gauge(g.Name() + ".generations").Set(float64(gens))
+	reg.Gauge(g.Name() + ".best_fitness").Set(bestFit)
+	stats := map[string]float64{}
+	reg.Snapshot().MergeInto(stats, g.Name()+".")
 	eng.Stats().MergeInto(stats)
-	return algorithm.FinishGlobal(g.Name(), t, cfg, best, stats)
+	telemetry.L().Info("genetic: evolution complete", "algorithm", g.Name(),
+		"best_fitness", bestFit, "best_node", fmt.Sprint(best), "engine", eng.Stats().String())
+	return algorithm.FinishGlobalContext(ctx, g.Name(), t, cfg, best, stats)
 }
 
 func argmin(xs []float64) int {

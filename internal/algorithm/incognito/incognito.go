@@ -28,6 +28,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/engine"
 	"microdata/internal/lattice"
+	"microdata/internal/telemetry"
 )
 
 // Incognito is the pruned full-domain lattice sweep.
@@ -47,12 +48,13 @@ func (in *Incognito) MinimalNodes(t *dataset.Table, cfg algorithm.Config) ([]lat
 	if err != nil {
 		return nil, 0, fmt.Errorf("incognito: %w", err)
 	}
-	minimal, err := in.minimalNodes(context.Background(), eng)
+	minimal, err := in.minimalNodes(context.Background(), eng, nil)
 	return minimal, int(eng.Stats().NodesEvaluated), err
 }
 
-// minimalNodes is the engine-backed sweep behind MinimalNodes.
-func (in *Incognito) minimalNodes(ctx context.Context, eng *engine.Engine) ([]lattice.Node, error) {
+// minimalNodes is the engine-backed sweep behind MinimalNodes. inherited, if
+// non-nil, counts the nodes pruned by monotonicity (never evaluated).
+func (in *Incognito) minimalNodes(ctx context.Context, eng *engine.Engine, inheritedC *telemetry.Counter) ([]lattice.Node, error) {
 	lat := eng.Lattice()
 	satisfying := map[string]bool{} // nodes known to satisfy
 	var minimal []lattice.Node
@@ -72,6 +74,9 @@ func (in *Incognito) minimalNodes(ctx context.Context, eng *engine.Engine) ([]la
 			}
 			if inherited {
 				satisfying[n.Key()] = true
+				if inheritedC != nil {
+					inheritedC.Inc()
+				}
 			} else {
 				fresh = append(fresh, n)
 			}
@@ -99,11 +104,14 @@ func (in *Incognito) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorit
 // AnonymizeContext implements algorithm.ContextAlgorithm; the sweep aborts
 // with the context's error as soon as cancellation is seen.
 func (in *Incognito) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	eng, err := engine.New(t, cfg)
+	ctx, sp := telemetry.Start(ctx, "incognito.search", telemetry.Int("k", cfg.K))
+	defer sp.End()
+	reg := telemetry.NewRunRegistry()
+	eng, err := engine.NewContext(ctx, t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("incognito: %w", err)
 	}
-	minimal, err := in.minimalNodes(ctx, eng)
+	minimal, err := in.minimalNodes(ctx, eng, reg.Counter("incognito.nodes_inherited"))
 	if err != nil {
 		return nil, err
 	}
@@ -125,10 +133,13 @@ func (in *Incognito) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg
 			best, bestCost = n, c
 		}
 	}
-	stats := map[string]float64{
-		"nodes_evaluated": float64(eng.Stats().NodesEvaluated),
-		"minimal_nodes":   float64(len(minimal)),
-	}
+	reg.Gauge("incognito.nodes_evaluated").Set(float64(eng.Stats().NodesEvaluated))
+	reg.Gauge("incognito.minimal_nodes").Set(float64(len(minimal)))
+	stats := map[string]float64{}
+	reg.Snapshot().MergeInto(stats, "incognito.")
+	delete(stats, "nodes_inherited") // telemetry-only; keep Result.Stats keys stable
 	eng.Stats().MergeInto(stats)
-	return algorithm.FinishGlobal(in.Name(), t, cfg, best, stats)
+	telemetry.L().Info("incognito: sweep complete",
+		"minimal_nodes", len(minimal), "best_node", fmt.Sprint(best), "engine", eng.Stats().String())
+	return algorithm.FinishGlobalContext(ctx, in.Name(), t, cfg, best, stats)
 }

@@ -38,6 +38,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/engine"
 	"microdata/internal/lattice"
+	"microdata/internal/telemetry"
 )
 
 // Objectives is one point in objective space; both components are
@@ -80,14 +81,14 @@ type Front struct {
 // every node is admissible, Evaluation.Partition is the plain partition of
 // the generalized table, and Evaluation.Cost is exactly the general loss
 // metric.
-func newEngine(t *dataset.Table, cfg algorithm.Config) (*engine.Engine, error) {
+func newEngine(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*engine.Engine, error) {
 	probe := cfg
 	probe.K = 1
 	probe.MinLDiversity, probe.MaxTCloseness, probe.MinEntropyL = 0, 0, 0
 	probe.RecursiveC, probe.RecursiveL = 0, 0
 	probe.Metric = algorithm.MetricLM
 	probe.MaxSuppression = 0
-	return engine.New(t, probe)
+	return engine.NewContext(ctx, t, probe)
 }
 
 // evaluate computes the objectives of one engine evaluation.
@@ -167,10 +168,12 @@ func ExhaustiveFront(t *dataset.Table, cfg algorithm.Config) (*Front, error) {
 // sweep runs as one parallel engine batch and aborts with the context's
 // error as soon as cancellation is seen.
 func ExhaustiveFrontContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*Front, error) {
+	ctx, sp := telemetry.Start(ctx, "moga.exhaustive")
+	defer sp.End()
 	if err := checkConfig(t, cfg); err != nil {
 		return nil, fmt.Errorf("moga: %w", err)
 	}
-	eng, err := newEngine(t, cfg)
+	eng, err := newEngine(ctx, t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("moga: %w", err)
 	}
@@ -187,7 +190,10 @@ func ExhaustiveFrontContext(ctx context.Context, t *dataset.Table, cfg algorithm
 		}
 		all = append(all, pt)
 	}
-	return &Front{Points: extractFront(all), Evaluations: len(all)}, nil
+	front := extractFront(all)
+	telemetry.L().Info("moga: exhaustive front complete",
+		"evaluations", len(all), "front_size", len(front))
+	return &Front{Points: front, Evaluations: len(all)}, nil
 }
 
 // NSGA2 is the elitist non-dominated-sorting searcher.
@@ -209,10 +215,14 @@ func (g *NSGA2) Explore(t *dataset.Table, cfg algorithm.Config) (*Front, error) 
 // ExploreContext is Explore honoring a context; the evolution aborts with
 // the context's error as soon as cancellation is seen.
 func (g *NSGA2) ExploreContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*Front, error) {
+	ctx, sp := telemetry.Start(ctx, "moga.nsga2")
+	defer sp.End()
+	reg := telemetry.NewRunRegistry()
+	evalsC := reg.Counter("moga.evaluations")
 	if err := checkConfig(t, cfg); err != nil {
 		return nil, fmt.Errorf("moga: %w", err)
 	}
-	eng, err := newEngine(t, cfg)
+	eng, err := newEngine(ctx, t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("moga: %w", err)
 	}
@@ -232,13 +242,12 @@ func (g *NSGA2) ExploreContext(ctx context.Context, t *dataset.Table, cfg algori
 
 	// The local map keeps Front.Evaluations counting distinct nodes,
 	// independent of the engine's own memo cache.
-	evals := 0
 	cache := map[string]Point{}
 	eval := func(n lattice.Node) (Point, error) {
 		if pt, ok := cache[n.Key()]; ok {
 			return pt, nil
 		}
-		evals++
+		evalsC.Inc()
 		ev, err := eng.Evaluate(ctx, n)
 		if err != nil {
 			return Point{}, err
@@ -322,7 +331,10 @@ func (g *NSGA2) ExploreContext(ctx context.Context, t *dataset.Table, cfg algori
 	for _, pt := range cache {
 		all = append(all, pt)
 	}
-	return &Front{Points: extractFront(all), Evaluations: evals}, nil
+	front := extractFront(all)
+	telemetry.L().Info("moga: nsga2 search complete",
+		"evaluations", evalsC.Value(), "front_size", len(front))
+	return &Front{Points: front, Evaluations: int(evalsC.Value())}, nil
 }
 
 // nondominatedSort returns each point's front rank (0 = non-dominated) and

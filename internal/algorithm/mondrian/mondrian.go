@@ -17,6 +17,7 @@
 package mondrian
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -25,6 +26,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/eqclass"
 	"microdata/internal/privacy"
+	"microdata/internal/telemetry"
 )
 
 // Mondrian is the multidimensional partitioning k-anonymizer.
@@ -49,6 +51,18 @@ func (m *Mondrian) Name() string {
 
 // Anonymize implements algorithm.Algorithm.
 func (m *Mondrian) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	return m.AnonymizeContext(context.Background(), t, cfg)
+}
+
+// AnonymizeContext implements algorithm.ContextAlgorithm; the recursive
+// partitioning aborts with the context's error as soon as cancellation is
+// seen.
+func (m *Mondrian) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
+	ctx, sp := telemetry.Start(ctx, m.Name()+".search",
+		telemetry.Int("k", cfg.K), telemetry.Bool("relaxed", m.Relaxed))
+	defer sp.End()
+	reg := telemetry.NewRunRegistry()
+	cutsC := reg.Counter(m.Name() + ".cuts")
 	if err := cfg.Validate(t); err != nil {
 		return nil, fmt.Errorf("mondrian: %w", err)
 	}
@@ -124,16 +138,23 @@ func (m *Mondrian) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm
 		return true
 	}
 	var regions [][]int
-	cuts := 0
+	var cancelErr error
 	var partition func(rows []int)
 	partition = func(rows []int) {
+		if cancelErr != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			cancelErr = err
+			return
+		}
 		if len(rows) >= 2*cfg.K {
 			// Try dimensions in decreasing normalized width.
 			order := m.dimensionOrder(t, qi, rows, spans)
 			for _, d := range order {
 				left, right, ok := m.split(t, qi[d], rows, cfg.K, valid)
 				if ok {
-					cuts++
+					cutsC.Inc()
 					partition(left)
 					partition(right)
 					return
@@ -143,7 +164,13 @@ func (m *Mondrian) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm
 		regions = append(regions, rows)
 	}
 	partition(allRows(t.Len()))
+	if cancelErr != nil {
+		return nil, fmt.Errorf("mondrian: %w", cancelErr)
+	}
 
+	_, msp := telemetry.Start(ctx, "algorithm.materialize",
+		telemetry.String("algorithm", m.Name()))
+	defer msp.End()
 	anon := t.Clone()
 	for _, region := range regions {
 		for _, j := range qi {
@@ -165,14 +192,16 @@ func (m *Mondrian) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm
 	} else if !ok {
 		return nil, fmt.Errorf("mondrian: the table cannot satisfy the privacy constraints without suppression (whole-table region already violates them)")
 	}
+	reg.Gauge(m.Name() + ".regions").Set(float64(len(regions)))
+	stats := map[string]float64{}
+	reg.Snapshot().MergeInto(stats, m.Name()+".")
+	telemetry.L().Info("mondrian: partitioning complete", "algorithm", m.Name(),
+		"cuts", cutsC.Value(), "regions", len(regions))
 	return &algorithm.Result{
 		Algorithm: m.Name(),
 		Table:     anon,
 		Partition: p,
-		Stats: map[string]float64{
-			"cuts":    float64(cuts),
-			"regions": float64(len(regions)),
-		},
+		Stats:     stats,
 	}, nil
 }
 

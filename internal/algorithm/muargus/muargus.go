@@ -30,6 +30,7 @@ import (
 	"microdata/internal/eqclass"
 	"microdata/internal/hierarchy"
 	"microdata/internal/lattice"
+	"microdata/internal/telemetry"
 )
 
 // MuArgus is the greedy combination-checking anonymizer.
@@ -66,7 +67,11 @@ func (m *MuArgus) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg al
 	if cfg.MinLDiversity > 0 || cfg.MaxTCloseness > 0 || cfg.MinEntropyL > 0 || cfg.RecursiveC > 0 {
 		return nil, fmt.Errorf("mu-argus: diversity constraints are not supported — the combination heuristic offers no guarantee even for k (paper §6)")
 	}
-	eng, err := engine.New(t, cfg)
+	ctx, sp := telemetry.Start(ctx, "mu-argus.search", telemetry.Int("k", cfg.K))
+	defer sp.End()
+	reg := telemetry.NewRunRegistry()
+	stepsC := reg.Counter("mu-argus.generalization_steps")
+	eng, err := engine.NewContext(ctx, t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("mu-argus: %w", err)
 	}
@@ -81,7 +86,6 @@ func (m *MuArgus) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg al
 	combos := combinations(eng.NumQI(), order)
 	node := make(lattice.Node, eng.NumQI())
 	budget := eng.Budget()
-	steps := 0
 	n := t.Len()
 	for {
 		if err := ctx.Err(); err != nil {
@@ -146,8 +150,11 @@ func (m *MuArgus) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg al
 			if len(rare) == 0 {
 				// Fixpoint reached: materialize the final node once,
 				// suppress the outliers, and report.
+				_, msp := telemetry.Start(ctx, "algorithm.materialize",
+					telemetry.String("algorithm", m.Name()))
 				anon, err := hierarchy.GeneralizeTable(t, cfg.Hierarchies, node)
 				if err != nil {
+					msp.End()
 					return nil, fmt.Errorf("mu-argus: %w", err)
 				}
 				var all []int
@@ -158,15 +165,17 @@ func (m *MuArgus) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg al
 				}
 				hierarchy.SuppressRows(anon, all)
 				p, err := eqclass.FromTable(anon)
+				msp.End()
 				if err != nil {
 					return nil, fmt.Errorf("mu-argus: %w", err)
 				}
-				stats := map[string]float64{
-					"generalization_steps": float64(steps),
-					"suppressed":           float64(len(all)),
-					"combination_order":    float64(order),
-				}
+				reg.Gauge("mu-argus.suppressed").Set(float64(len(all)))
+				reg.Gauge("mu-argus.combination_order").Set(float64(order))
+				stats := map[string]float64{}
+				reg.Snapshot().MergeInto(stats, "mu-argus.")
 				eng.Stats().MergeInto(stats)
+				telemetry.L().Info("mu-argus: fixpoint reached",
+					"steps", stepsC.Value(), "suppressed", len(all), "node", fmt.Sprint(node))
 				return &algorithm.Result{
 					Algorithm:  m.Name(),
 					Table:      anon,
@@ -226,7 +235,7 @@ func (m *MuArgus) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg al
 			return nil, fmt.Errorf("mu-argus: rare combinations remain at full generalization (budget %d)", budget)
 		}
 		node[best]++
-		steps++
+		stepsC.Inc()
 	}
 }
 

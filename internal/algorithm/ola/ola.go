@@ -30,6 +30,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/engine"
 	"microdata/internal/lattice"
+	"microdata/internal/telemetry"
 )
 
 // OLA is the predictive-tagging lattice search.
@@ -143,7 +144,10 @@ func (o *OLA) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.Resu
 // AnonymizeContext implements algorithm.ContextAlgorithm; the sublattice
 // search aborts with the context's error as soon as cancellation is seen.
 func (o *OLA) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	eng, err := engine.New(t, cfg)
+	ctx, sp := telemetry.Start(ctx, "ola.search", telemetry.Int("k", cfg.K))
+	defer sp.End()
+	reg := telemetry.NewRunRegistry()
+	eng, err := engine.NewContext(ctx, t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("ola: %w", err)
 	}
@@ -209,10 +213,12 @@ func (o *OLA) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algori
 	if best == nil {
 		return nil, fmt.Errorf("ola: no satisfying node found")
 	}
-	stats := map[string]float64{
-		"nodes_evaluated": float64(eng.Stats().NodesEvaluated),
-		"nodes_tagged":    float64(len(tg.tagged)),
-	}
+	reg.Gauge("ola.nodes_evaluated").Set(float64(eng.Stats().NodesEvaluated))
+	reg.Gauge("ola.nodes_tagged").Set(float64(len(tg.tagged)))
+	stats := map[string]float64{}
+	reg.Snapshot().MergeInto(stats, "ola.")
 	eng.Stats().MergeInto(stats)
-	return algorithm.FinishGlobal(o.Name(), t, cfg, best, stats)
+	telemetry.L().Info("ola: search complete",
+		"nodes_tagged", len(tg.tagged), "best_node", fmt.Sprint(best), "engine", eng.Stats().String())
+	return algorithm.FinishGlobalContext(ctx, o.Name(), t, cfg, best, stats)
 }

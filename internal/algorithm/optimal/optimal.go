@@ -24,6 +24,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/engine"
 	"microdata/internal/lattice"
+	"microdata/internal/telemetry"
 )
 
 // Optimal is the exhaustive lattice-search k-anonymizer.
@@ -43,7 +44,10 @@ func (o *Optimal) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm.
 // AnonymizeContext implements algorithm.ContextAlgorithm; the exhaustive
 // sweep aborts with the context's error as soon as cancellation is seen.
 func (o *Optimal) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	eng, err := engine.New(t, cfg)
+	ctx, sp := telemetry.Start(ctx, "optimal.search", telemetry.Int("k", cfg.K))
+	defer sp.End()
+	reg := telemetry.NewRunRegistry()
+	eng, err := engine.NewContext(ctx, t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("optimal: %w", err)
 	}
@@ -65,10 +69,12 @@ func (o *Optimal) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg al
 	if best == nil || math.IsInf(bestCost, 1) {
 		return nil, fmt.Errorf("optimal: no generalization satisfies %d-anonymity within the suppression budget", cfg.K)
 	}
-	stats := map[string]float64{
-		"nodes_evaluated": float64(eng.Stats().NodesEvaluated),
-		"best_cost":       bestCost,
-	}
+	reg.Gauge("optimal.nodes_evaluated").Set(float64(eng.Stats().NodesEvaluated))
+	reg.Gauge("optimal.best_cost").Set(bestCost)
+	stats := map[string]float64{}
+	reg.Snapshot().MergeInto(stats, "optimal.")
 	eng.Stats().MergeInto(stats)
-	return algorithm.FinishGlobal(o.Name(), t, cfg, best, stats)
+	telemetry.L().Info("optimal: exhaustive sweep complete",
+		"best_cost", bestCost, "best_node", fmt.Sprint(best), "engine", eng.Stats().String())
+	return algorithm.FinishGlobalContext(ctx, o.Name(), t, cfg, best, stats)
 }

@@ -18,6 +18,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/engine"
 	"microdata/internal/lattice"
+	"microdata/internal/telemetry"
 )
 
 // Samarati is the lattice-height binary-search k-anonymizer.
@@ -37,12 +38,17 @@ func (s *Samarati) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm
 // AnonymizeContext implements algorithm.ContextAlgorithm; the binary search
 // aborts with the context's error as soon as cancellation is seen.
 func (s *Samarati) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	eng, err := engine.New(t, cfg)
+	ctx, sp := telemetry.Start(ctx, "samarati.search", telemetry.Int("k", cfg.K))
+	defer sp.End()
+	reg := telemetry.NewRunRegistry()
+	strata := reg.Counter("samarati.strata_evaluated")
+	eng, err := engine.NewContext(ctx, t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("samarati: %w", err)
 	}
 	lat := eng.Lattice()
 	satisfiable := func(h int) (bool, error) {
+		strata.Inc()
 		evs, err := eng.EvaluateAll(ctx, lat.AtHeight(h))
 		if err != nil {
 			return false, err
@@ -97,10 +103,15 @@ func (s *Samarati) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg a
 	if best == nil {
 		return nil, fmt.Errorf("samarati: internal error: minimal height %d has no satisfying node", lo)
 	}
-	stats := map[string]float64{
-		"nodes_evaluated": float64(eng.Stats().NodesEvaluated),
-		"minimal_height":  float64(lo),
-	}
+	reg.Gauge("samarati.nodes_evaluated").Set(float64(eng.Stats().NodesEvaluated))
+	reg.Gauge("samarati.minimal_height").Set(float64(lo))
+	stats := map[string]float64{}
+	reg.Snapshot().MergeInto(stats, "samarati.")
+	// strata_evaluated is telemetry-only (visible via -metrics); keep the
+	// pre-telemetry Result.Stats key set byte-compatible.
+	delete(stats, "strata_evaluated")
 	eng.Stats().MergeInto(stats)
-	return algorithm.FinishGlobal(s.Name(), t, cfg, best, stats)
+	telemetry.L().Info("samarati: search complete",
+		"minimal_height", lo, "best_node", fmt.Sprint(best), "engine", eng.Stats().String())
+	return algorithm.FinishGlobalContext(ctx, s.Name(), t, cfg, best, stats)
 }

@@ -24,6 +24,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/engine"
 	"microdata/internal/lattice"
+	"microdata/internal/telemetry"
 )
 
 // TopDown is the greedy specialization anonymizer.
@@ -43,7 +44,11 @@ func (td *TopDown) Anonymize(t *dataset.Table, cfg algorithm.Config) (*algorithm
 // AnonymizeContext implements algorithm.ContextAlgorithm; the descent
 // aborts with the context's error as soon as cancellation is seen.
 func (td *TopDown) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config) (*algorithm.Result, error) {
-	eng, err := engine.New(t, cfg)
+	ctx, sp := telemetry.Start(ctx, "topdown.search", telemetry.Int("k", cfg.K))
+	defer sp.End()
+	reg := telemetry.NewRunRegistry()
+	stepsC := reg.Counter("topdown.specializations")
+	eng, err := engine.NewContext(ctx, t, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("topdown: %w", err)
 	}
@@ -56,7 +61,6 @@ func (td *TopDown) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg a
 	if err != nil {
 		return nil, fmt.Errorf("topdown: %w", err)
 	}
-	steps := 0
 	for {
 		// Candidate specializations: lower one attribute by one level,
 		// keeping feasibility. Evaluated as one parallel batch.
@@ -93,12 +97,13 @@ func (td *TopDown) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg a
 		}
 		node[bestIdx]--
 		cost = bestCost
-		steps++
+		stepsC.Inc()
 	}
-	stats := map[string]float64{
-		"specializations": float64(steps),
-		"final_cost":      cost,
-	}
+	reg.Gauge("topdown.final_cost").Set(cost)
+	stats := map[string]float64{}
+	reg.Snapshot().MergeInto(stats, "topdown.")
 	eng.Stats().MergeInto(stats)
-	return algorithm.FinishGlobal(td.Name(), t, cfg, node, stats)
+	telemetry.L().Info("topdown: descent complete",
+		"specializations", stepsC.Value(), "final_cost", cost, "engine", eng.Stats().String())
+	return algorithm.FinishGlobalContext(ctx, td.Name(), t, cfg, node, stats)
 }

@@ -48,6 +48,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/eqclass"
 	"microdata/internal/lattice"
+	"microdata/internal/telemetry"
 	"microdata/internal/utility"
 )
 
@@ -118,7 +119,7 @@ type Engine struct {
 	cacheSize int
 	workers   int
 	cache     *lruCache
-	counters  counters
+	counters  *instruments
 }
 
 // New builds an engine for the table under the configuration. The
@@ -126,6 +127,13 @@ type Engine struct {
 // once per level — O(Σ_attr distinct×levels) hierarchy calls, independent
 // of how many nodes the search will visit.
 func New(t *dataset.Table, cfg algorithm.Config, opts ...Option) (*Engine, error) {
+	return NewContext(context.Background(), t, cfg, opts...)
+}
+
+// NewContext is New under a context carrying the caller's telemetry span:
+// the fragment-precompute phase is traced as an "engine.precompute" child
+// span, so per-phase breakdowns attribute construction cost correctly.
+func NewContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config, opts ...Option) (*Engine, error) {
 	if err := cfg.Validate(t); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -149,11 +157,20 @@ func New(t *dataset.Table, cfg algorithm.Config, opts ...Option) (*Engine, error
 		o(e)
 	}
 	e.cache = newLRUCache(e.cacheSize)
+	e.counters = newInstruments(lat.Height())
+	e.counters.reg.Gauge("engine.workers").Set(float64(e.workers))
+	e.counters.reg.Gauge("engine.cache.size").Set(float64(e.cacheSize))
+	_, sp := telemetry.Start(ctx, "engine.precompute",
+		telemetry.Int("rows", t.Len()), telemetry.Int("qi", len(t.Schema.QuasiIdentifiers())))
 	start := time.Now()
-	if err := e.precompute(); err != nil {
+	err = e.precompute()
+	e.counters.precomputeNS.Add(int64(time.Since(start)))
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
-	e.counters.precomputeNanos.Store(int64(time.Since(start)))
+	telemetry.L().Debug("engine: precompute complete",
+		"rows", t.Len(), "lattice_height", lat.Height(), "dur", time.Since(start))
 	return e, nil
 }
 
@@ -314,7 +331,7 @@ func (ev *Evaluation) Cost() (float64, error) {
 	ev.costOnce.Do(func() {
 		start := time.Now()
 		ev.cost, ev.costErr = ev.eng.cost(ev)
-		ev.eng.counters.evalNanos.Add(int64(time.Since(start)))
+		ev.eng.counters.evalTotalNS.Add(int64(time.Since(start)))
 	})
 	return ev.cost, ev.costErr
 }
@@ -329,13 +346,15 @@ func (e *Engine) Evaluate(ctx context.Context, node lattice.Node) (*Evaluation, 
 	}
 	key := node.Key()
 	if ev := e.cache.get(key); ev != nil {
-		e.counters.cacheHits.Add(1)
+		e.counters.cacheHits.Inc()
 		return ev, nil
 	}
-	e.counters.cacheMisses.Add(1)
+	e.counters.cacheMisses.Inc()
 	start := time.Now()
 	ev, err := e.evaluate(node)
-	e.counters.evalNanos.Add(int64(time.Since(start)))
+	elapsed := int64(time.Since(start))
+	e.counters.evalTotalNS.Add(elapsed)
+	e.counters.evalHist.Observe(float64(elapsed))
 	if err != nil {
 		return nil, err
 	}
@@ -346,8 +365,11 @@ func (e *Engine) Evaluate(ctx context.Context, node lattice.Node) (*Evaluation, 
 // evaluate runs the signature-assembly pipeline for one uncached node.
 func (e *Engine) evaluate(node lattice.Node) (*Evaluation, error) {
 	n := e.t.Len()
-	e.counters.nodesEvaluated.Add(1)
+	e.counters.nodesEvaluated.Inc()
 	e.counters.rowsScanned.Add(int64(n))
+	if h := node.Height(); h >= 0 && h < len(e.counters.visited) {
+		e.counters.visited[h].Inc()
+	}
 	sigs := make([]string, n)
 	buf := make([]byte, 4*len(e.attrs))
 	for i := 0; i < n; i++ {
@@ -492,6 +514,8 @@ func (e *Engine) suppressedPartition(ev *Evaluation) (*eqclass.Partition, error)
 // and the error reports the first failure; a cancelled batch returns a
 // *Canceled error wrapping the context error.
 func (e *Engine) EvaluateAll(ctx context.Context, nodes []lattice.Node) ([]*Evaluation, error) {
+	ctx, sp := telemetry.Start(ctx, "engine.evaluate_all", telemetry.Int("batch", len(nodes)))
+	defer sp.End()
 	out := make([]*Evaluation, len(nodes))
 	workers := e.workers
 	if workers > len(nodes) {

@@ -2,14 +2,37 @@ package engine
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
+
+	"microdata/internal/telemetry"
 )
 
-// Stats is a snapshot of the engine's counters. The phase timings are
-// cumulative wall time spent inside the phase; under parallel batch
-// evaluation the evaluation timing sums across workers and can exceed
-// elapsed wall time.
+// Metric names the engine registers. The engine's counters live in a
+// per-engine telemetry registry; when a telemetry.Collector is active the
+// registry is parented to the process-wide one, so the same increments
+// feed both the per-run Stats snapshot and the global -metrics export.
+const (
+	MetricNodesEvaluated = "engine.nodes.evaluated"
+	MetricCacheHit       = "engine.cache.hit"
+	MetricCacheMiss      = "engine.cache.miss"
+	MetricRowsScanned    = "engine.rows.scanned"
+	MetricPrecomputeNS   = "engine.precompute.ns"
+	MetricEvalTotalNS    = "engine.eval.total_ns"
+	// MetricEvalHistogram is the per-evaluation latency histogram (ns).
+	MetricEvalHistogram = "engine.eval.ns"
+	// MetricVisitedPrefix prefixes the per-lattice-level visit counters:
+	// "lattice.nodes.visited.l<height>".
+	MetricVisitedPrefix = "lattice.nodes.visited.l"
+)
+
+// evalBuckets are the fixed upper bounds (ns) of the evaluation-latency
+// histogram: 1µs .. 1s, decade steps.
+var evalBuckets = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+
+// Stats is a snapshot of the engine's counters — a thin view over the
+// engine's telemetry registry. The phase timings are cumulative wall time
+// spent inside the phase; under parallel batch evaluation the evaluation
+// timing sums across workers and can exceed elapsed wall time.
 type Stats struct {
 	// NodesEvaluated counts full node evaluations (cache misses that ran
 	// the signature-assembly + partition + constraint pipeline).
@@ -47,24 +70,51 @@ func (s Stats) MergeInto(m map[string]float64) {
 	m["engine_eval_ms"] = float64(s.Evaluation) / float64(time.Millisecond)
 }
 
-// counters is the engine's live, atomically-updated view of Stats.
-type counters struct {
-	nodesEvaluated  atomic.Int64
-	cacheHits       atomic.Int64
-	cacheMisses     atomic.Int64
-	rowsScanned     atomic.Int64
-	precomputeNanos atomic.Int64
-	evalNanos       atomic.Int64
+// instruments holds the engine's registered metric handles, looked up once
+// at construction so the hot paths never touch the registry's lock.
+type instruments struct {
+	reg            *telemetry.Registry
+	nodesEvaluated *telemetry.Counter
+	cacheHits      *telemetry.Counter
+	cacheMisses    *telemetry.Counter
+	rowsScanned    *telemetry.Counter
+	precomputeNS   *telemetry.Counter
+	evalTotalNS    *telemetry.Counter
+	evalHist       *telemetry.Histogram
+	// visited counts node evaluations per lattice height, index = height.
+	visited []*telemetry.Counter
 }
 
-func (c *counters) snapshot() Stats {
+// newInstruments registers the engine's metrics in a fresh run registry
+// (parented to the active Collector's registry, if any). height is the
+// lattice height, bounding the per-level visit counters.
+func newInstruments(height int) *instruments {
+	reg := telemetry.NewRunRegistry()
+	ins := &instruments{
+		reg:            reg,
+		nodesEvaluated: reg.Counter(MetricNodesEvaluated),
+		cacheHits:      reg.Counter(MetricCacheHit),
+		cacheMisses:    reg.Counter(MetricCacheMiss),
+		rowsScanned:    reg.Counter(MetricRowsScanned),
+		precomputeNS:   reg.Counter(MetricPrecomputeNS),
+		evalTotalNS:    reg.Counter(MetricEvalTotalNS),
+		evalHist:       reg.Histogram(MetricEvalHistogram, evalBuckets),
+		visited:        make([]*telemetry.Counter, height+1),
+	}
+	for h := range ins.visited {
+		ins.visited[h] = reg.Counter(fmt.Sprintf("%s%d", MetricVisitedPrefix, h))
+	}
+	return ins
+}
+
+func (c *instruments) snapshot() Stats {
 	return Stats{
-		NodesEvaluated: c.nodesEvaluated.Load(),
-		CacheHits:      c.cacheHits.Load(),
-		CacheMisses:    c.cacheMisses.Load(),
-		RowsScanned:    c.rowsScanned.Load(),
-		Precompute:     time.Duration(c.precomputeNanos.Load()),
-		Evaluation:     time.Duration(c.evalNanos.Load()),
+		NodesEvaluated: c.nodesEvaluated.Value(),
+		CacheHits:      c.cacheHits.Value(),
+		CacheMisses:    c.cacheMisses.Value(),
+		RowsScanned:    c.rowsScanned.Value(),
+		Precompute:     time.Duration(c.precomputeNS.Value()),
+		Evaluation:     time.Duration(c.evalTotalNS.Value()),
 	}
 }
 

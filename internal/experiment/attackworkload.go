@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -19,7 +20,7 @@ import (
 func e17(opts Options) Experiment {
 	return Experiment{
 		ID: "E17", Title: "record-linkage attack risk per algorithm", Artifact: "§2 at scale",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			tab, err := generator.Generate(generator.Config{N: opts.CensusN, Seed: opts.Seed})
 			if err != nil {
 				return err
@@ -57,7 +58,7 @@ func e17(opts Options) Experiment {
 				wg.Add(1)
 				go func(i int, alg algorithm.Algorithm) {
 					defer wg.Done()
-					r, err := alg.Anonymize(tab, cfg)
+					r, err := algorithm.AnonymizeContext(ctx, alg, tab, cfg)
 					if err != nil {
 						rows[i] = attackRow{line: fmt.Sprintf("  %-20s failed: %v\n", alg.Name(), err)}
 						return
@@ -102,7 +103,7 @@ func e17(opts Options) Experiment {
 func e18(opts Options) Experiment {
 	return Experiment{
 		ID: "E18", Title: "range-count query accuracy per algorithm", Artifact: "§6 (LeFevre motivation)",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			tab, err := generator.Generate(generator.Config{N: opts.CensusN, Seed: opts.Seed})
 			if err != nil {
 				return err
@@ -127,7 +128,7 @@ func e18(opts Options) Experiment {
 				wg.Add(1)
 				go func(i int, alg algorithm.Algorithm) {
 					defer wg.Done()
-					r, err := alg.Anonymize(tab, cfg)
+					r, err := algorithm.AnonymizeContext(ctx, alg, tab, cfg)
 					if err != nil {
 						releases[i] = release{fail: err}
 						return

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -45,7 +46,7 @@ func suite() []algorithm.Algorithm {
 // runSuite anonymizes with every algorithm concurrently (each algorithm is
 // pure over its read-only inputs) and returns results in roster order; a
 // failed algorithm yields a nil slot plus its error.
-func runSuite(tab *dataset.Table, cfg algorithm.Config) ([]*algRun, []error) {
+func runSuite(ctx context.Context, tab *dataset.Table, cfg algorithm.Config) ([]*algRun, []error) {
 	algs := suite()
 	runs := make([]*algRun, len(algs))
 	errs := make([]error, len(algs))
@@ -54,7 +55,7 @@ func runSuite(tab *dataset.Table, cfg algorithm.Config) ([]*algRun, []error) {
 		wg.Add(1)
 		go func(i int, alg algorithm.Algorithm) {
 			defer wg.Done()
-			runs[i], errs[i] = runAlg(alg, tab, cfg)
+			runs[i], errs[i] = runAlg(ctx, alg, tab, cfg)
 		}(i, alg)
 	}
 	wg.Wait()
@@ -77,8 +78,8 @@ type algRun struct {
 	prec       float64 // NaN for local recodings
 }
 
-func runAlg(alg algorithm.Algorithm, tab *dataset.Table, cfg algorithm.Config) (*algRun, error) {
-	r, err := alg.Anonymize(tab, cfg)
+func runAlg(ctx context.Context, alg algorithm.Algorithm, tab *dataset.Table, cfg algorithm.Config) (*algRun, error) {
+	r, err := algorithm.AnonymizeContext(ctx, alg, tab, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", alg.Name(), err)
 	}
@@ -136,7 +137,7 @@ func runAlg(alg algorithm.Algorithm, tab *dataset.Table, cfg algorithm.Config) (
 func e14(opts Options) Experiment {
 	return Experiment{
 		ID: "E14", Title: "algorithm comparison on synthetic census", Artifact: "§1–2 at scale",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			tab, err := generator.Generate(generator.Config{N: opts.CensusN, Seed: opts.Seed})
 			if err != nil {
 				return err
@@ -158,7 +159,7 @@ func e14(opts Options) Experiment {
 				fmt.Fprintf(w, "  %-20s %7s %7s %8s %6s %8s %10s %7s %7s %6s %7s %8s\n",
 					"algorithm", "k_act", "classes", "suppr", "LM", "DM", "C_avg", "Prec", "l_dist", "l_ent", "t_close", "Gini")
 				var runs []*algRun
-				rawRuns, errs := runSuite(tab, cfg)
+				rawRuns, errs := runSuite(ctx, tab, cfg)
 				for ri, ar := range rawRuns {
 					if errs[ri] != nil {
 						fmt.Fprintf(w, "  %-20s failed: %v\n", suite()[ri].Name(), errs[ri])
@@ -241,7 +242,7 @@ func writeMatrices(w io.Writer, runs []*algRun) {
 func e15(opts Options) Experiment {
 	return Experiment{
 		ID: "E15", Title: "genetic-algorithm ablation and privacy/utility trade-off", Artifact: "§6–7 extension",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			tab, err := generator.Generate(generator.Config{N: opts.CensusN, Seed: opts.Seed})
 			if err != nil {
 				return err
@@ -257,7 +258,7 @@ func e15(opts Options) Experiment {
 			fmt.Fprintf(w, "census N=%d, k=%d\n", opts.CensusN, cfg.K)
 			fmt.Fprintln(w, "  GA crossover ablation (cost = LM, lower is better):")
 			for _, alg := range []algorithm.Algorithm{genetic.New(), genetic.NewConstrained()} {
-				r, err := alg.Anonymize(tab, cfg)
+				r, err := algorithm.AnonymizeContext(ctx, alg, tab, cfg)
 				if err != nil {
 					return err
 				}
@@ -267,7 +268,7 @@ func e15(opts Options) Experiment {
 				}
 				writeKV(w, alg.Name(), fmt.Sprintf("node=%v LM=%s evals=%v", r.Levels, trim(c), r.Stats["fitness_evaluations"]))
 			}
-			opt, err := optimal.New().Anonymize(tab, cfg)
+			opt, err := optimal.New().AnonymizeContext(ctx, tab, cfg)
 			if err != nil {
 				return err
 			}
@@ -281,7 +282,7 @@ func e15(opts Options) Experiment {
 			fmt.Fprintf(w, "  %6s %8s %10s %10s\n", "k", "LM", "avg|E|", "min|E|")
 			for _, k := range opts.Ks {
 				cfg.K = k
-				r, err := optimal.New().Anonymize(tab, cfg)
+				r, err := optimal.New().AnonymizeContext(ctx, tab, cfg)
 				if err != nil {
 					return err
 				}

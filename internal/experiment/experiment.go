@@ -6,9 +6,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"time"
+
+	"microdata/internal/telemetry"
 )
 
 // Options tunes the scaled experiments; the zero value picks defaults
@@ -43,8 +47,9 @@ type Experiment struct {
 	Title string
 	// Artifact names the paper artifact reproduced ("Table 2", ...).
 	Artifact string
-	// Run writes the report.
-	Run func(w io.Writer) error
+	// Run writes the report; it honors ctx cancellation for the
+	// engine-backed experiments.
+	Run func(ctx context.Context, w io.Writer) error
 }
 
 // Registry returns all experiments, ordered by ID.
@@ -77,8 +82,14 @@ func Find(id string, opts Options) (Experiment, bool) {
 
 // RunAll executes every experiment in order.
 func RunAll(w io.Writer, opts Options) error {
+	return RunAllContext(context.Background(), w, opts)
+}
+
+// RunAllContext is RunAll honoring a context; each experiment runs under
+// its own telemetry span.
+func RunAllContext(ctx context.Context, w io.Writer, opts Options) error {
 	for _, e := range Registry(opts) {
-		if err := runOne(w, e); err != nil {
+		if err := runOne(ctx, w, e); err != nil {
 			return err
 		}
 	}
@@ -87,18 +98,30 @@ func RunAll(w io.Writer, opts Options) error {
 
 // RunByID executes one experiment.
 func RunByID(w io.Writer, id string, opts Options) error {
+	return RunByIDContext(context.Background(), w, id, opts)
+}
+
+// RunByIDContext is RunByID honoring a context.
+func RunByIDContext(ctx context.Context, w io.Writer, id string, opts Options) error {
 	e, ok := Find(id, opts)
 	if !ok {
 		return fmt.Errorf("experiment: unknown id %q", id)
 	}
-	return runOne(w, e)
+	return runOne(ctx, w, e)
 }
 
-func runOne(w io.Writer, e Experiment) error {
+func runOne(ctx context.Context, w io.Writer, e Experiment) error {
+	ctx, sp := telemetry.Start(ctx, "experiment."+e.ID,
+		telemetry.String("title", e.Title), telemetry.String("artifact", e.Artifact))
+	defer sp.End()
+	telemetry.L().Info("experiment: starting", "id", e.ID, "title", e.Title)
+	start := time.Now()
 	fmt.Fprintf(w, "=== %s: %s (%s) ===\n", e.ID, e.Title, e.Artifact)
-	if err := e.Run(w); err != nil {
+	if err := e.Run(ctx, w); err != nil {
+		telemetry.L().Error("experiment: failed", "id", e.ID, "error", err)
 		return fmt.Errorf("experiment %s: %w", e.ID, err)
 	}
+	telemetry.L().Info("experiment: complete", "id", e.ID, "elapsed", time.Since(start))
 	fmt.Fprintln(w)
 	return nil
 }

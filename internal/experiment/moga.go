@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -15,14 +16,14 @@ import (
 func e16(opts Options) Experiment {
 	return Experiment{
 		ID: "E16", Title: "multi-objective privacy/utility Pareto front", Artifact: "§7 proposed extension",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			// Ground truth on the paper's own lattice.
 			cfg := algorithm.Config{
 				K:           1,
 				Hierarchies: paperdata.Hierarchies(),
 				Metric:      algorithm.MetricLM,
 			}
-			truth, err := moga.ExhaustiveFront(paperdata.T1(), cfg)
+			truth, err := moga.ExhaustiveFrontContext(ctx, paperdata.T1(), cfg)
 			if err != nil {
 				return err
 			}
@@ -31,7 +32,7 @@ func e16(opts Options) Experiment {
 			for _, p := range truth.Points {
 				fmt.Fprintf(w, "  %-10s %12s %8s %8d\n", p.Node, trim(p.Obj.PrivacyRank), trim(p.Obj.Loss), p.KActual)
 			}
-			nsga, err := (&moga.NSGA2{}).Explore(paperdata.T1(), cfg)
+			nsga, err := (&moga.NSGA2{}).ExploreContext(ctx, paperdata.T1(), cfg)
 			if err != nil {
 				return err
 			}
@@ -50,11 +51,11 @@ func e16(opts Options) Experiment {
 				Taxonomies:  generator.Taxonomies(),
 				Seed:        opts.Seed,
 			}
-			ctruth, err := moga.ExhaustiveFront(tab, ccfg)
+			ctruth, err := moga.ExhaustiveFrontContext(ctx, tab, ccfg)
 			if err != nil {
 				return err
 			}
-			cnsga, err := (&moga.NSGA2{}).Explore(tab, ccfg)
+			cnsga, err := (&moga.NSGA2{}).ExploreContext(ctx, tab, ccfg)
 			if err != nil {
 				return err
 			}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,7 +19,7 @@ import (
 func e19(opts Options) Experiment {
 	return Experiment{
 		ID: "E19", Title: "prevalence of non-dominance among k-anonymous releases", Artifact: "§4–5 motivation",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			tab, err := generator.Generate(generator.Config{N: opts.CensusN, Seed: opts.Seed})
 			if err != nil {
 				return err

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,7 +15,7 @@ import (
 func e1() Experiment {
 	return Experiment{
 		ID: "E1", Title: "hypothetical microdata T1", Artifact: "Table 1",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			fmt.Fprint(w, paperdata.T1().Format(true))
 			return nil
 		},
@@ -37,7 +38,7 @@ func printAnonymized(w io.Writer, name string, t *dataset.Table) error {
 func e2() Experiment {
 	return Experiment{
 		ID: "E2", Title: "two 3-anonymous generalizations of T1", Artifact: "Table 2",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			if err := printAnonymized(w, "T_3a (zip level 1, age level 1)", paperdata.T3a()); err != nil {
 				return err
 			}
@@ -50,7 +51,7 @@ func e2() Experiment {
 func e3() Experiment {
 	return Experiment{
 		ID: "E3", Title: "4-anonymous generalization of T1", Artifact: "Table 3",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			return printAnonymized(w, "T_4 (zip level 3, age level 3, marital suppressed)", paperdata.T4())
 		},
 	}
@@ -60,7 +61,7 @@ func e3() Experiment {
 func e4() Experiment {
 	return Experiment{
 		ID: "E4", Title: "per-tuple equivalence class sizes", Artifact: "Figure 1",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			for _, tc := range []struct {
 				name  string
 				table *dataset.Table
@@ -87,7 +88,7 @@ func e4() Experiment {
 func e5() Experiment {
 	return Experiment{
 		ID: "E5", Title: "dominance relationships between the published tables", Artifact: "Table 4",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			vectors := map[string]core.PropertyVector{
 				"T_3a": paperdata.ClassSizeT3a,
 				"T_3b": paperdata.ClassSizeT3b,
@@ -117,7 +118,7 @@ func e5() Experiment {
 func e6() Experiment {
 	return Experiment{
 		ID: "E6", Title: "rank-based comparison against the ideal vector", Artifact: "Figure 2",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			dmax := make(core.PropertyVector, 10)
 			for i := range dmax {
 				dmax[i] = 10 // every tuple in one class of size N
@@ -157,7 +158,7 @@ func e6() Experiment {
 func e7() Experiment {
 	return Experiment{
 		ID: "E7", Title: "P_cov and P_spr on the hypothetical vectors", Artifact: "Figure 3",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			d1, d2 := paperdata.SpreadExampleD1, paperdata.SpreadExampleD2
 			writeVector(w, "D_1", d1)
 			writeVector(w, "D_2", d2)
@@ -187,7 +188,7 @@ func e7() Experiment {
 func e8() Experiment {
 	return Experiment{
 		ID: "E8", Title: "hypervolume tournament comparison", Artifact: "Figure 4",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			s, t := paperdata.HvExampleS, paperdata.HvExampleT
 			writeVector(w, "s (3-anonymous)", s)
 			writeVector(w, "t (4-anonymous)", t)
@@ -217,7 +218,7 @@ func e8() Experiment {
 func e9() Experiment {
 	return Experiment{
 		ID: "E9", Title: "unary and binary quality indices on T_3a/T_3b", Artifact: "§3 worked example",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			s, t := paperdata.ClassSizeT3a, paperdata.ClassSizeT3b
 			writeVector(w, "s = class sizes of T_3a", s)
 			writeVector(w, "t = class sizes of T_3b", t)
@@ -256,7 +257,7 @@ func e9() Experiment {
 func e10() Experiment {
 	return Experiment{
 		ID: "E10", Title: "spread favors a 2-anonymous generalization", Artifact: "§5.3 worked example",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			three, two := paperdata.SpreadThreeAnon, paperdata.SpreadTwoAnon
 			writeVector(w, "3-anonymous vector", three)
 			writeVector(w, "2-anonymous vector", two)
@@ -296,7 +297,7 @@ func e10() Experiment {
 func e11() Experiment {
 	return Experiment{
 		ID: "E11", Title: "weighted multi-property comparison of T_3a and T_3b", Artifact: "§5.5 worked example",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			y1 := core.PropertySet{paperdata.ClassSizeT3a, paperdata.UtilityT3a}
 			y2 := core.PropertySet{paperdata.ClassSizeT3b, paperdata.UtilityT3b}
 			for _, tc := range []struct {
@@ -342,7 +343,7 @@ func e11() Experiment {
 func e12() Experiment {
 	return Experiment{
 		ID: "E12", Title: "lexicographic and goal-based multi-property comparison", Artifact: "§5.6–5.7",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			privacyFirst1 := core.PropertySet{paperdata.ClassSizeT3b, paperdata.UtilityT3b}
 			privacyFirst2 := core.PropertySet{paperdata.ClassSizeT3a, paperdata.UtilityT3a}
 			lex, err := core.NewLEX([]float64{0.1, 0.1}, []core.BinaryIndex{core.PCov, core.PCov})
@@ -392,7 +393,7 @@ func e12() Experiment {
 func e13() Experiment {
 	return Experiment{
 		ID: "E13", Title: "unary index panels cannot characterize dominance", Artifact: "Theorem 1 / Corollaries 1–2",
-		Run: func(w io.Writer) error {
+		Run: func(ctx context.Context, w io.Writer) error {
 			panel := core.StandardPanel()
 			names := make([]string, len(panel.Indices))
 			for i, idx := range panel.Indices {

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkStartDisabled measures the cost of an instrumentation site when
+// no Collector is installed — the ISSUE budget is ~1–2 ns (one atomic
+// load) so always-on instrumentation is free in production runs.
+func BenchmarkStartDisabled(b *testing.B) {
+	prev := SetCollector(nil)
+	defer SetCollector(prev)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, "bench")
+		sp.End()
+	}
+}
+
+// BenchmarkStartEndEnabled measures a full span lifecycle with a Collector
+// installed. The collector is replaced periodically so the finished-span
+// buffer does not grow with b.N.
+func BenchmarkStartEndEnabled(b *testing.B) {
+	prev := SetCollector(NewCollector())
+	defer SetCollector(prev)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%(1<<15) == 0 {
+			SetCollector(NewCollector())
+		}
+		_, sp := Start(ctx, "bench")
+		sp.End()
+	}
+}
+
+// BenchmarkCounterAdd measures the hot-path cost with the instrument
+// pointer held, as the engine does (one atomic add).
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterAddParented adds one forwarding hop, the run-registry →
+// collector-registry path used when -metrics is active.
+func BenchmarkCounterAddParented(b *testing.B) {
+	parent := NewRegistry()
+	child := NewRegistry()
+	child.parent = parent
+	c := child.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures the eval-latency histogram path:
+// bucket search + two atomic adds + CAS float sum.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1_000_000))
+	}
+}
+
+// BenchmarkRegistryLookup measures get-or-create by name — the path
+// instrumentation sites should hoist out of loops.
+func BenchmarkRegistryLookup(b *testing.B) {
+	reg := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.Counter("engine.nodes.evaluated")
+	}
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// discardHandler drops every record. It is the default handler, so library
+// code can log unconditionally: with logging uninstalled each call exits
+// at the handler's Enabled check. (log/slog gained a stock DiscardHandler
+// only in Go 1.24; this repo's floor is 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logger.Store(slog.New(discardHandler{}))
+}
+
+// L returns the package logger; never nil. The default discards.
+func L() *slog.Logger { return logger.Load() }
+
+// SetLogHandler swaps the package logger's handler; nil restores the
+// discarding default. Returns the previous logger so tests can restore it.
+func SetLogHandler(h slog.Handler) *slog.Logger {
+	if h == nil {
+		h = discardHandler{}
+	}
+	return logger.Swap(slog.New(h))
+}
+
+// NewLogHandler builds the handler the CLIs install from their -v /
+// -log-format flags: format is "text" or "json", and verbose selects
+// debug- over info-level.
+func NewLogHandler(w io.Writer, format string, verbose bool) (slog.Handler, error) {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.NewTextHandler(w, opts), nil
+	case "json":
+		return slog.NewJSONHandler(w, opts), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentExactTotals hammers one registry from GOMAXPROCS
+// goroutines and checks the totals are exact — run under -race in CI.
+func TestRegistryConcurrentExactTotals(t *testing.T) {
+	const perG = 10_000
+	g := runtime.GOMAXPROCS(0)
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("c")
+			h := reg.Histogram("h", []float64{10, 100})
+			gg := reg.Gauge("g")
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				h.Observe(float64(j % 200))
+				gg.Set(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(g * perG)
+	if got := reg.Counter("c").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	h := reg.Histogram("h", nil)
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	// Each goroutine observes 0..199 fifty times: sum = 50 * (199*200/2).
+	wantSum := float64(g) * float64(perG/200) * float64(199*200/2)
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestRunRegistryParenting: a run registry forwards every update to the
+// active collector's registry, and local counts stay per-run.
+func TestRunRegistryParenting(t *testing.T) {
+	col := NewCollector()
+	prev := SetCollector(col)
+	defer SetCollector(prev)
+
+	g := runtime.GOMAXPROCS(0)
+	const perG = 5_000
+	var wg sync.WaitGroup
+	locals := make([]*Registry, g)
+	for i := 0; i < g; i++ {
+		locals[i] = NewRunRegistry()
+		wg.Add(1)
+		go func(reg *Registry) {
+			defer wg.Done()
+			c := reg.Counter("run.steps")
+			h := reg.Histogram("run.lat", []float64{1})
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				h.Observe(2)
+			}
+			reg.Gauge("run.done").Set(1)
+		}(locals[i])
+	}
+	wg.Wait()
+	for i, reg := range locals {
+		if got := reg.Counter("run.steps").Value(); got != perG {
+			t.Errorf("local %d counter = %d, want %d", i, got, perG)
+		}
+	}
+	want := int64(g * perG)
+	if got := col.Metrics.Counter("run.steps").Value(); got != want {
+		t.Errorf("parent counter = %d, want %d", got, want)
+	}
+	if got := col.Metrics.Histogram("run.lat", nil).Count(); got != want {
+		t.Errorf("parent histogram count = %d, want %d", got, want)
+	}
+	if got := col.Metrics.Gauge("run.done").Value(); got != 1 {
+		t.Errorf("parent gauge = %v, want 1", got)
+	}
+}
+
+// TestRunRegistryStandaloneWhenDisabled: without a collector, run
+// registries have no parent and never touch global state.
+func TestRunRegistryStandaloneWhenDisabled(t *testing.T) {
+	prev := SetCollector(nil)
+	defer SetCollector(prev)
+	reg := NewRunRegistry()
+	if reg.parent != nil {
+		t.Fatal("run registry parented while telemetry disabled")
+	}
+	reg.Counter("x").Add(3)
+	if got := reg.Counter("x").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+}
+
+// TestHistogramBuckets pins the bucket edges: bound b catches values <= b
+// in cumulative snapshots, +Inf catches the rest.
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{10, 100})
+	for _, v := range []float64{1, 10, 11, 100, 1000} {
+		h.Observe(v)
+	}
+	s := reg.Snapshot().Histograms["h"]
+	if s.Count != 5 || s.Sum != 1122 {
+		t.Fatalf("count=%d sum=%v, want 5 and 1122", s.Count, s.Sum)
+	}
+	wantCum := []int64{2, 4, 5} // <=10, <=100, +Inf
+	if len(s.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(wantCum))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[2].UpperBound, 1) {
+		t.Errorf("last bucket bound = %v, want +Inf", s.Buckets[2].UpperBound)
+	}
+}
+
+// TestSnapshotMergeInto pins the Result.Stats bridge: counters and gauges
+// with the prefix land in the map, prefix stripped; others are skipped.
+func TestSnapshotMergeInto(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("alg.steps").Add(7)
+	reg.Gauge("alg.best_cost").Set(0.25)
+	reg.Counter("other.steps").Add(99)
+	m := map[string]float64{"existing": 1}
+	reg.Snapshot().MergeInto(m, "alg.")
+	if m["steps"] != 7 || m["best_cost"] != 0.25 || m["existing"] != 1 {
+		t.Errorf("merged map = %v", m)
+	}
+	if _, ok := m["other.steps"]; ok {
+		t.Errorf("foreign prefix leaked into map: %v", m)
+	}
+	if len(m) != 3 {
+		t.Errorf("map has %d keys, want 3: %v", len(m), m)
+	}
+}
+
+// TestSnapshotJSONDeterministic: two identical registries serialize to
+// identical bytes (sorted keys, no timestamps).
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() *Registry {
+		reg := NewRegistry()
+		reg.Counter("b.count").Add(2)
+		reg.Counter("a.count").Add(1)
+		reg.Gauge("z.gauge").Set(3.5)
+		reg.Histogram("h", []float64{1e3, 1e6}).Observe(500)
+		return reg
+	}
+	var a, b strings.Builder
+	if err := build().Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("snapshots differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
