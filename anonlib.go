@@ -435,18 +435,30 @@ var (
 
 // Attack simulation: record-linkage re-identification risk (§2).
 type (
-	// Adversary links ground quasi-identifiers against an anonymized table.
+	// Adversary links ground quasi-identifiers against an anonymized table
+	// through a region index, memoizing victim tuples and caching the
+	// prosecutor vector.
 	Adversary = attack.Adversary
+	// AttackStats snapshots the adversary's indexing and cache counters.
+	AttackStats = attack.Stats
 )
 
-// Attack constructors and risk measures.
+// Attack constructors and risk measures. The Context variants accept a
+// context.Context for cancellation of the parallel fan-out; the Naive
+// variants are the serial row-scanning references the indexed pipeline is
+// cross-validated against.
 var (
-	NewAdversary     = attack.NewAdversary
-	ProsecutorVector = attack.ProsecutorVector
-	JournalistVector = attack.JournalistVector
-	AttackSafety     = attack.SafetyVector
-	MarketerRisk     = attack.MarketerRisk
-	TargetedRisk     = attack.TargetedRisk
+	NewAdversary            = attack.NewAdversary
+	ProsecutorVector        = attack.ProsecutorVector
+	ProsecutorVectorContext = attack.ProsecutorVectorContext
+	JournalistVector        = attack.JournalistVector
+	JournalistVectorContext = attack.JournalistVectorContext
+	AttackSafety            = attack.SafetyVector
+	MarketerRisk            = attack.MarketerRisk
+	TargetedRisk            = attack.TargetedRisk
+	TargetedRiskContext     = attack.TargetedRiskContext
+	NaiveProsecutorVector   = attack.NaiveProsecutorVector
+	NaiveJournalistVector   = attack.NaiveJournalistVector
 )
 
 // Query-workload utility evaluation (the LeFevre §6 view).

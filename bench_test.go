@@ -375,7 +375,10 @@ func BenchmarkNonDominance(b *testing.B) {
 	}
 }
 
-// BenchmarkAttack measures the record-linkage risk computation (E17).
+// BenchmarkAttack measures the record-linkage risk computation (E17). A
+// fresh adversary per iteration charges index construction and victim
+// memoization to the measurement (the prosecutor vector is cached per
+// adversary, so reusing one would time the cache copy).
 func BenchmarkAttack(b *testing.B) {
 	tab, err := generator.Generate(generator.Config{N: 400, Seed: 17})
 	if err != nil {
@@ -390,14 +393,116 @@ func BenchmarkAttack(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	adv, err := attack.NewAdversary(r.Table, generator.Taxonomies())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv, err := attack.NewAdversary(r.Table, generator.Taxonomies())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := attack.ProsecutorVector(tab, adv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// attackBenchRelease anonymizes an N-row census draw for the attack
+// benchmarks below.
+func attackBenchRelease(b *testing.B, n int) (tab *Table, anon *Table) {
+	b.Helper()
+	tab, err := generator.Generate(generator.Config{N: n, Seed: 17})
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := attack.ProsecutorVector(tab, adv); err != nil {
+	cfg := algorithm.Config{
+		K: 5, Hierarchies: generator.Hierarchies(),
+		MaxSuppression: 0.05, Taxonomies: generator.Taxonomies(),
+	}
+	alg, _ := NewAlgorithm("mondrian")
+	r, err := alg.Anonymize(tab, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab, r.Table
+}
+
+// BenchmarkProsecutorVector compares the naive row-scanning prosecutor
+// pipeline against the region-indexed one, serial and parallel. The
+// indexed variants rebuild the adversary every iteration so index
+// construction and memoization are charged to the measurement.
+func BenchmarkProsecutorVector(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		tab, anon := attackBenchRelease(b, n)
+		naiveAdv, err := attack.NewAdversary(anon, generator.Taxonomies())
+		if err != nil {
 			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("N=%d/naive", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := attack.NaiveProsecutorVector(tab, naiveAdv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, v := range []struct {
+			name    string
+			workers int
+		}{{"indexed-serial", 1}, {"indexed-parallel", 0}} {
+			b.Run(fmt.Sprintf("N=%d/%s", n, v.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					adv, err := attack.NewAdversary(anon, generator.Taxonomies())
+					if err != nil {
+						b.Fatal(err)
+					}
+					adv.SetWorkers(v.workers)
+					if _, err := attack.ProsecutorVector(tab, adv); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkJournalistVector compares the naive per-victim population scan
+// against the inverted, memoized journalist pipeline. Population = 2×
+// sample. The naive variant at N=10000 takes tens of seconds per
+// iteration; use -benchtime=1x or a -bench filter for quick runs.
+func BenchmarkJournalistVector(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		tab, anon := attackBenchRelease(b, n)
+		population := tab.Clone()
+		extra, err := generator.Generate(generator.Config{N: n, Seed: 18})
+		if err != nil {
+			b.Fatal(err)
+		}
+		population.Rows = append(population.Rows, extra.Rows...)
+		naiveAdv, err := attack.NewAdversary(anon, generator.Taxonomies())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("N=%d/naive", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := attack.NaiveJournalistVector(tab, population, naiveAdv); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, v := range []struct {
+			name    string
+			workers int
+		}{{"indexed-serial", 1}, {"indexed-parallel", 0}} {
+			b.Run(fmt.Sprintf("N=%d/%s", n, v.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					adv, err := attack.NewAdversary(anon, generator.Taxonomies())
+					if err != nil {
+						b.Fatal(err)
+					}
+					adv.SetWorkers(v.workers)
+					if _, err := attack.JournalistVector(tab, population, adv); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

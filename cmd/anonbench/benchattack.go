@@ -1,0 +1,250 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"microdata"
+)
+
+// attackBenchReport is the JSON document -bench-attack writes: wall-clock
+// timings of the naive reference matcher against the region-indexed
+// adversary (serial and parallel) on the same census draw, with the indexed
+// vectors verified element-identical to the naive ones before any number is
+// reported.
+type attackBenchReport struct {
+	N          int                  `json:"n"`
+	K          int                  `json:"k"`
+	Seed       int64                `json:"seed"`
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Prosecutor []prosecutorBenchRow `json:"prosecutor"`
+	Journalist journalistBenchRow   `json:"journalist"`
+}
+
+type prosecutorBenchRow struct {
+	Algorithm         string  `json:"algorithm"`
+	Regions           int     `json:"regions"`
+	NaiveMS           float64 `json:"naive_ms"`
+	IndexedSerialMS   float64 `json:"indexed_serial_ms"`
+	IndexedParallelMS float64 `json:"indexed_parallel_ms"`
+	SpeedupSerial     float64 `json:"speedup_serial"`
+	SpeedupParallel   float64 `json:"speedup_parallel"`
+}
+
+type journalistBenchRow struct {
+	Algorithm  string  `json:"algorithm"`
+	N          int     `json:"n"`
+	Population int     `json:"population"`
+	NaiveMS    float64 `json:"naive_ms"`
+	IndexedMS  float64 `json:"indexed_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// benchAttack times the record-linkage attack pipeline. Prosecutor risk is
+// measured on a generalization algorithm (datafly) and a partitioning one
+// (mondrian) because they produce very different region counts; journalist
+// risk is measured on the mondrian release with a sample capped at 2000
+// rows and a population twice the sample, since the naive journalist scan
+// is quadratic and would otherwise dominate the run.
+func benchAttack(ctx context.Context, w io.Writer, out string, n, k int, seed int64) error {
+	tab, err := microdata.Generate(microdata.GeneratorConfig{N: n, Seed: seed})
+	if err != nil {
+		return err
+	}
+	cfg := microdata.AlgorithmConfig{
+		K:              k,
+		Hierarchies:    microdata.CensusHierarchies(),
+		Taxonomies:     microdata.CensusTaxonomies(),
+		MaxSuppression: 0.05,
+		Metric:         microdata.MetricLM,
+		Seed:           seed,
+	}
+	rep := attackBenchReport{N: n, K: k, Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	fmt.Fprintf(w, "attack benchmark (census N=%d, k=%d, seed=%d, GOMAXPROCS=%d)\n",
+		n, k, seed, rep.GOMAXPROCS)
+
+	for _, name := range []string{"datafly", "mondrian"} {
+		alg, err := microdata.NewAlgorithm(name)
+		if err != nil {
+			return err
+		}
+		r, err := microdata.AnonymizeContext(ctx, alg, tab, cfg)
+		if err != nil {
+			return err
+		}
+		row, err := benchProsecutor(ctx, name, tab, r.Table)
+		if err != nil {
+			return err
+		}
+		rep.Prosecutor = append(rep.Prosecutor, row)
+		fmt.Fprintf(w, "  prosecutor %-10s %6d regions  naive %9.1fms  indexed-serial %8.1fms (%.1fx)  indexed-parallel %8.1fms (%.1fx)\n",
+			name, row.Regions, row.NaiveMS, row.IndexedSerialMS, row.SpeedupSerial,
+			row.IndexedParallelMS, row.SpeedupParallel)
+	}
+
+	jr, err := benchJournalist(ctx, "mondrian", cfg, n, seed)
+	if err != nil {
+		return err
+	}
+	rep.Journalist = jr
+	fmt.Fprintf(w, "  journalist %-10s sample %d / population %d  naive %9.1fms  indexed %8.1fms (%.1fx)\n",
+		jr.Algorithm, jr.N, jr.Population, jr.NaiveMS, jr.IndexedMS, jr.Speedup)
+
+	if out == "" {
+		return nil
+	}
+	if err := writeFileOrStdout(out, func(f io.Writer) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}); err != nil {
+		return fmt.Errorf("bench-attack: %w", err)
+	}
+	if out != "-" {
+		fmt.Fprintf(w, "  wrote %s\n", out)
+	}
+	return nil
+}
+
+// benchProsecutor times one release three ways and verifies the indexed
+// vectors are element-identical to the naive reference before reporting.
+func benchProsecutor(ctx context.Context, name string, tab, anon *microdata.Table) (prosecutorBenchRow, error) {
+	row := prosecutorBenchRow{Algorithm: name}
+
+	naiveAdv, err := microdata.NewAdversary(anon, microdata.CensusTaxonomies())
+	if err != nil {
+		return row, err
+	}
+	var naiveVec microdata.PropertyVector
+	row.NaiveMS, err = timeMS(func() error {
+		naiveVec, err = microdata.NaiveProsecutorVector(tab, naiveAdv)
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+
+	for _, variant := range []struct {
+		workers int
+		ms      *float64
+	}{{1, &row.IndexedSerialMS}, {0, &row.IndexedParallelMS}} {
+		adv, err := microdata.NewAdversary(anon, microdata.CensusTaxonomies())
+		if err != nil {
+			return row, err
+		}
+		adv.SetWorkers(variant.workers)
+		var vec microdata.PropertyVector
+		*variant.ms, err = timeMS(func() error {
+			vec, err = microdata.ProsecutorVectorContext(ctx, tab, adv)
+			return err
+		})
+		if err != nil {
+			return row, err
+		}
+		if i := firstDiff(naiveVec, vec); i >= 0 {
+			return row, fmt.Errorf("bench-attack: %s: indexed prosecutor vector (workers=%d) diverges from naive at row %d: %g vs %g",
+				name, variant.workers, i, vec[i], naiveVec[i])
+		}
+		row.Regions = adv.Stats().Regions
+	}
+	row.SpeedupSerial = speedup(row.NaiveMS, row.IndexedSerialMS)
+	row.SpeedupParallel = speedup(row.NaiveMS, row.IndexedParallelMS)
+	return row, nil
+}
+
+// benchJournalist times the journalist attack on a capped sample against a
+// doubled population, naive vs indexed, verifying equality. The journalist
+// model anonymizes the sample itself, so the release here is a fresh
+// anonymization of the capped draw rather than the full-table release the
+// prosecutor rows use — the naive journalist scan is quadratic in the
+// population and uncapped runs would dwarf the rest of the benchmark.
+func benchJournalist(ctx context.Context, name string, cfg microdata.AlgorithmConfig, n int, seed int64) (journalistBenchRow, error) {
+	m := n
+	if m > 2000 {
+		m = 2000
+	}
+	sample, err := microdata.Generate(microdata.GeneratorConfig{N: m, Seed: seed})
+	if err != nil {
+		return journalistBenchRow{}, err
+	}
+	alg, err := microdata.NewAlgorithm(name)
+	if err != nil {
+		return journalistBenchRow{}, err
+	}
+	r, err := microdata.AnonymizeContext(ctx, alg, sample, cfg)
+	if err != nil {
+		return journalistBenchRow{}, err
+	}
+	anon := r.Table
+	population := sample.Clone()
+	extra, err := microdata.Generate(microdata.GeneratorConfig{N: m, Seed: seed + 1})
+	if err != nil {
+		return journalistBenchRow{}, err
+	}
+	population.Rows = append(population.Rows, extra.Rows...)
+	row := journalistBenchRow{Algorithm: name, N: m, Population: population.Len()}
+
+	naiveAdv, err := microdata.NewAdversary(anon, microdata.CensusTaxonomies())
+	if err != nil {
+		return row, err
+	}
+	var naiveVec microdata.PropertyVector
+	row.NaiveMS, err = timeMS(func() error {
+		naiveVec, err = microdata.NaiveJournalistVector(sample, population, naiveAdv)
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+
+	adv, err := microdata.NewAdversary(anon, microdata.CensusTaxonomies())
+	if err != nil {
+		return row, err
+	}
+	var vec microdata.PropertyVector
+	row.IndexedMS, err = timeMS(func() error {
+		vec, err = microdata.JournalistVectorContext(ctx, sample, population, adv)
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+	if i := firstDiff(naiveVec, vec); i >= 0 {
+		return row, fmt.Errorf("bench-attack: %s: indexed journalist vector diverges from naive at row %d: %g vs %g",
+			name, i, vec[i], naiveVec[i])
+	}
+	row.Speedup = speedup(row.NaiveMS, row.IndexedMS)
+	return row, nil
+}
+
+func timeMS(f func() error) (float64, error) {
+	start := time.Now()
+	err := f()
+	return ms(time.Since(start)), err
+}
+
+// firstDiff returns the first index where the vectors differ (exact float
+// comparison — the indexed pipeline promises identical divisions, not
+// merely close ones), or -1 when equal.
+func firstDiff(want, got microdata.PropertyVector) int {
+	if len(want) != len(got) {
+		return 0
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func speedup(naiveMS, indexedMS float64) float64 {
+	if indexedMS <= 0 {
+		return 0
+	}
+	return naiveMS / indexedMS
+}

@@ -8,6 +8,7 @@
 //	anonbench -run E4
 //	anonbench -run all -n 5000 -ks 2,5,10,25,50 -seed 7
 //	anonbench -enginestats -n 10000 -ks 5
+//	anonbench -bench-attack -n 10000 -ks 5 -bench-attack-out BENCH_attack.json
 //
 // Observability (see README "Observability"):
 //
@@ -41,6 +42,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed for the census draw and stochastic algorithms")
 		engStat = flag.Bool("enginestats", false, "run every algorithm once on the census draw (first k of -ks) and print the evaluation-engine counters")
 
+		benchAtk    = flag.Bool("bench-attack", false, "time the record-linkage attack pipeline (naive vs indexed, serial vs parallel) on the census draw and write a JSON report")
+		benchAtkOut = flag.String("bench-attack-out", "BENCH_attack.json", "output path for the -bench-attack JSON report (\"-\" for stdout, \"\" to skip)")
+
 		verbose    = flag.Bool("v", false, "enable debug-level structured logging on stderr")
 		logFormat  = flag.String("log-format", "", "structured log format: text or json (implies logging even without -v)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run's spans (load in chrome://tracing or Perfetto)")
@@ -52,6 +56,7 @@ func main() {
 
 	if err := realMain(options{
 		list: *list, run: *run, n: *n, ks: *ks, seed: *seed, engStat: *engStat,
+		benchAttack: *benchAtk, benchAttackOut: *benchAtkOut,
 		verbose: *verbose, logFormat: *logFormat,
 		traceOut: *traceOut, metricsOut: *metricsOut,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
@@ -68,6 +73,8 @@ type options struct {
 	ks                     string
 	seed                   int64
 	engStat                bool
+	benchAttack            bool
+	benchAttackOut         string
 	verbose                bool
 	logFormat              string
 	traceOut, metricsOut   string
@@ -138,6 +145,8 @@ func realMain(o options) error {
 		defer sp.End()
 
 		switch {
+		case o.benchAttack:
+			runErr = benchAttack(ctx, os.Stdout, o.benchAttackOut, o.n, kVals[0], o.seed)
 		case o.engStat:
 			runErr = engineStats(ctx, os.Stdout, o.n, kVals[0], o.seed, col)
 		case o.list:
@@ -168,6 +177,8 @@ func realMain(o options) error {
 
 func mode(o options) string {
 	switch {
+	case o.benchAttack:
+		return "bench-attack"
 	case o.engStat:
 		return "enginestats"
 	case o.list:

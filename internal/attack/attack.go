@@ -22,22 +22,60 @@
 // compared against generalized cells with Value.Covers (plus taxonomy
 // coverage for Set cells), so local recodings (Mondrian regions) and
 // global recodings are attacked identically.
+//
+// Resolution is region-indexed: the anonymized rows are grouped into
+// distinct quasi-identifier regions (equivalence classes) and matched
+// per-attribute through hash, interval-stabbing and taxonomy lookups over
+// region bitsets, so a victim costs O(regions) instead of O(rows·|QI|).
+// Victim tuples are memoized by signature, the risk vectors fan out across
+// GOMAXPROCS workers (cancellable via context), and the journalist model
+// is inverted to one population sweep per distinct matched-region set. The
+// Naive* functions keep the direct row-scanning reference implementations;
+// the cross-validation tests pin both paths to identical vectors.
 package attack
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"microdata/internal/core"
 	"microdata/internal/dataset"
+	"microdata/internal/eqclass"
 	"microdata/internal/hierarchy"
+	"microdata/internal/telemetry"
 )
 
 // Adversary matches ground quasi-identifier values against an anonymized
-// table.
+// table. The zero value is not usable; construct with NewAdversary. An
+// Adversary is safe for concurrent use once configured (SetWorkers, if
+// called at all, must happen before the first attack).
 type Adversary struct {
 	anon *dataset.Table
 	qi   []int
 	taxs map[string]*hierarchy.Taxonomy
+
+	// workers caps the parallel fan-out; 0 means runtime.GOMAXPROCS(0).
+	workers int
+
+	indexOnce sync.Once
+	index     *regionIndex
+	indexErr  error
+	ins       *instruments
+	// memo caches victim signature -> *regionMatch across all risk models.
+	memo sync.Map
+
+	// prosMu guards the cached prosecutor vector, keyed by the identity of
+	// the original table it was computed for. SafetyVector, MarketerRisk
+	// and TargetedRisk all reuse it.
+	prosMu   sync.Mutex
+	prosOrig *dataset.Table
+	prosVec  core.PropertyVector
 }
 
 // NewAdversary builds an adversary against the anonymized table. The
@@ -54,8 +92,21 @@ func NewAdversary(anon *dataset.Table, taxonomies map[string]*hierarchy.Taxonomy
 	return &Adversary{anon: anon, qi: qi, taxs: taxonomies}, nil
 }
 
+// SetWorkers caps the number of goroutines the risk vectors fan out over;
+// n <= 0 restores the default (runtime.GOMAXPROCS). Call before the first
+// attack — the setting is not synchronized.
+func (a *Adversary) SetWorkers(n int) { a.workers = n }
+
+func (a *Adversary) workerCount() int {
+	if a.workers > 0 {
+		return a.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // covers reports whether the generalized cell g is consistent with the
-// victim's ground value v for the given attribute.
+// victim's ground value v for the given attribute. It is the reference
+// predicate the region index replicates.
 func (a *Adversary) covers(g, v dataset.Value, attr dataset.Attribute) bool {
 	if g.Kind() == dataset.Set {
 		tax := a.taxs[attr.Name]
@@ -73,10 +124,95 @@ func (a *Adversary) covers(g, v dataset.Value, attr dataset.Attribute) bool {
 	return g.Covers(v) || g.Equal(v)
 }
 
+// ensureIndex builds the region index exactly once.
+func (a *Adversary) ensureIndex(ctx context.Context) (*regionIndex, error) {
+	a.indexOnce.Do(func() {
+		_, span := telemetry.Start(ctx, "attack.index.build",
+			telemetry.Int("rows", a.anon.Len()),
+			telemetry.Int("qi", len(a.qi)))
+		defer span.End()
+		a.ins = newInstruments()
+		t0 := time.Now()
+		a.index, a.indexErr = buildRegionIndex(a.anon, a.qi, a.taxs)
+		a.ins.indexBuildNS.Add(time.Since(t0).Nanoseconds())
+		if a.indexErr == nil {
+			a.ins.reg.Gauge(MetricIndexRegions).Set(float64(a.index.n))
+			span.SetAttr(telemetry.Int("regions", a.index.n))
+		}
+	})
+	return a.index, a.indexErr
+}
+
+// regionMatch is the memoized resolution of one victim tuple: the matched
+// region set, its cardinality, and the total anonymized rows it spans.
+type regionMatch struct {
+	regs    bitset
+	regions int
+	rows    int
+}
+
+// matchRegions resolves a victim tuple to its matched-region set through
+// the index, memoizing by signature.
+func (a *Adversary) matchRegions(ctx context.Context, victim []dataset.Value) (*regionMatch, error) {
+	if len(victim) != len(a.qi) {
+		return nil, fmt.Errorf("attack: victim has %d quasi-identifier values, schema has %d", len(victim), len(a.qi))
+	}
+	ix, err := a.ensureIndex(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sig := eqclass.KeySignature(victim)
+	if m, ok := a.memo.Load(sig); ok {
+		a.ins.cacheHits.Inc()
+		return m.(*regionMatch), nil
+	}
+	a.ins.cacheMisses.Inc()
+	regs := newBitset(ix.n)
+	regs.setAll(ix.n)
+	scratch := newBitset(ix.n)
+	for vi := range ix.attrs {
+		scratch.zero()
+		a.matchAttrInto(&ix.attrs[vi], victim[vi], scratch)
+		regs.and(scratch)
+		if regs.empty() {
+			break
+		}
+	}
+	m := &regionMatch{regs: regs}
+	regs.forEach(func(r int) {
+		m.regions++
+		m.rows += ix.sizes[r]
+	})
+	a.ins.regionsProbed.Add(int64(m.regions))
+	a.ins.candidatesPruned.Add(int64(ix.n - m.regions))
+	if prev, loaded := a.memo.LoadOrStore(sig, m); loaded {
+		return prev.(*regionMatch), nil
+	}
+	return m, nil
+}
+
 // MatchSet returns the row indices of the anonymized table consistent with
 // the victim's ground quasi-identifier values (aligned with the schema's
-// QI order).
+// QI order). Rows are ascending; no match returns nil.
 func (a *Adversary) MatchSet(victim []dataset.Value) ([]int, error) {
+	m, err := a.matchRegions(context.Background(), victim)
+	if err != nil {
+		return nil, err
+	}
+	if m.rows == 0 {
+		return nil, nil
+	}
+	out := make([]int, 0, m.rows)
+	m.regs.forEach(func(r int) {
+		out = append(out, a.index.part.Classes[r]...)
+	})
+	sort.Ints(out)
+	return out, nil
+}
+
+// NaiveMatchSet is the reference row-scanning matcher MatchSet is
+// cross-validated against.
+func (a *Adversary) NaiveMatchSet(victim []dataset.Value) ([]int, error) {
 	if len(victim) != len(a.qi) {
 		return nil, fmt.Errorf("attack: victim has %d quasi-identifier values, schema has %d", len(victim), len(a.qi))
 	}
@@ -102,18 +238,166 @@ func victimOf(orig *dataset.Table, qi []int, i int) []dataset.Value {
 	return v
 }
 
-// ProsecutorVector computes the per-tuple prosecutor risk: for every
-// individual of the original table, 1 over the number of anonymized
+// victimGroups groups the table's rows by ground QI signature: groupOf[i]
+// indexes the distinct victim tuple of row i in victims. Resolving each
+// distinct tuple once keeps the parallel fan-out deterministic and feeds
+// the signature memo.
+func victimGroups(t *dataset.Table, qi []int) (groupOf []int, victims [][]dataset.Value) {
+	groupOf = make([]int, t.Len())
+	index := make(map[string]int)
+	var sb strings.Builder
+	for i, row := range t.Rows {
+		sb.Reset()
+		eqclass.WriteSignature(&sb, row, qi)
+		gi, ok := index[sb.String()]
+		if !ok {
+			gi = len(victims)
+			index[sb.String()] = gi
+			victims = append(victims, victimOf(t, qi, i))
+		}
+		groupOf[i] = gi
+	}
+	return groupOf, victims
+}
+
+// victimGroupsCounted is victimGroups keeping only multiplicities, for
+// population tables whose rows never need individual resolution.
+func victimGroupsCounted(t *dataset.Table, qi []int) (victims [][]dataset.Value, counts []int) {
+	index := make(map[string]int)
+	var sb strings.Builder
+	for i, row := range t.Rows {
+		sb.Reset()
+		eqclass.WriteSignature(&sb, row, qi)
+		gi, ok := index[sb.String()]
+		if !ok {
+			gi = len(victims)
+			index[sb.String()] = gi
+			victims = append(victims, victimOf(t, qi, i))
+			counts = append(counts, 0)
+		}
+		counts[gi]++
+	}
+	return victims, counts
+}
+
+// forEachParallel runs f over 0..n-1 sharded across the adversary's
+// workers. Cancellation of ctx aborts promptly; the returned error then
+// wraps ctx.Err() so errors.Is(err, context.Canceled) holds.
+func (a *Adversary) forEachParallel(ctx context.Context, n int, f func(i int) error) error {
+	workers := a.workerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("attack: aborted: %w", err)
+			}
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var stopped atomic.Bool
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stopped.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stopped.Store(true)
+					return
+				}
+				errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("attack: aborted: %w", err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProsecutorVectorContext computes the per-tuple prosecutor risk: for
+// every individual of the original table, 1 over the number of anonymized
 // records consistent with their quasi-identifiers. A sound anonymization
 // yields risk <= 1/k everywhere (its own record always matches, and so do
-// its k-1 classmates).
+// its k-1 classmates). The vector is cached per original table, so
+// SafetyVector, MarketerRisk and TargetedRisk reuse one computation.
+func ProsecutorVectorContext(ctx context.Context, orig *dataset.Table, adv *Adversary) (core.PropertyVector, error) {
+	if orig.Len() != adv.anon.Len() {
+		return nil, fmt.Errorf("attack: original has %d rows, anonymized %d", orig.Len(), adv.anon.Len())
+	}
+	adv.prosMu.Lock()
+	if adv.prosOrig == orig && adv.prosVec != nil {
+		out := append(core.PropertyVector(nil), adv.prosVec...)
+		adv.prosMu.Unlock()
+		return out, nil
+	}
+	adv.prosMu.Unlock()
+
+	ctx, span := telemetry.Start(ctx, "attack.prosecutor",
+		telemetry.Int("rows", orig.Len()))
+	defer span.End()
+
+	groupOf, victims := victimGroups(orig, adv.qi)
+	span.SetAttr(telemetry.Int("victim_groups", len(victims)))
+	matches := make([]*regionMatch, len(victims))
+	err := adv.forEachParallel(ctx, len(victims), func(g int) error {
+		m, merr := adv.matchRegions(ctx, victims[g])
+		if merr != nil {
+			return merr
+		}
+		matches[g] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(core.PropertyVector, orig.Len())
+	for i := range out {
+		m := matches[groupOf[i]]
+		if m.rows == 0 {
+			return nil, fmt.Errorf("attack: tuple %d matches no anonymized record — the anonymization is inconsistent with its input", i)
+		}
+		out[i] = 1 / float64(m.rows)
+	}
+
+	adv.prosMu.Lock()
+	adv.prosOrig = orig
+	adv.prosVec = append(core.PropertyVector(nil), out...)
+	adv.prosMu.Unlock()
+	return out, nil
+}
+
+// ProsecutorVector is ProsecutorVectorContext without cancellation.
 func ProsecutorVector(orig *dataset.Table, adv *Adversary) (core.PropertyVector, error) {
+	return ProsecutorVectorContext(context.Background(), orig, adv)
+}
+
+// NaiveProsecutorVector is the reference serial row-scanning prosecutor
+// vector the indexed pipeline is cross-validated against.
+func NaiveProsecutorVector(orig *dataset.Table, adv *Adversary) (core.PropertyVector, error) {
 	if orig.Len() != adv.anon.Len() {
 		return nil, fmt.Errorf("attack: original has %d rows, anonymized %d", orig.Len(), adv.anon.Len())
 	}
 	out := make(core.PropertyVector, orig.Len())
 	for i := range orig.Rows {
-		matches, err := adv.MatchSet(victimOf(orig, adv.qi, i))
+		matches, err := adv.NaiveMatchSet(victimOf(orig, adv.qi, i))
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +412,7 @@ func ProsecutorVector(orig *dataset.Table, adv *Adversary) (core.PropertyVector,
 // SafetyVector is the higher-is-better form the comparison framework
 // wants: 1 − prosecutor risk.
 func SafetyVector(orig *dataset.Table, adv *Adversary) (core.PropertyVector, error) {
-	risk, err := ProsecutorVector(orig, adv)
+	risk, err := ProsecutorVectorContext(context.Background(), orig, adv)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +426,7 @@ func SafetyVector(orig *dataset.Table, adv *Adversary) (core.PropertyVector, err
 // MarketerRisk is the expected fraction of records a whole-table linkage
 // re-identifies: the mean prosecutor risk.
 func MarketerRisk(orig *dataset.Table, adv *Adversary) (float64, error) {
-	risk, err := ProsecutorVector(orig, adv)
+	risk, err := ProsecutorVectorContext(context.Background(), orig, adv)
 	if err != nil {
 		return 0, err
 	}
@@ -153,15 +437,119 @@ func MarketerRisk(orig *dataset.Table, adv *Adversary) (float64, error) {
 	return s / float64(len(risk)), nil
 }
 
-// JournalistVector computes the per-tuple journalist risk: the adversary
-// knows the victim is in a larger POPULATION the released sample was drawn
-// from, not that the victim is in the table. For the individual of sample
-// row i, the candidate set is every population record whose ground
-// quasi-identifiers fall inside one of the anonymized regions matching the
-// victim; the risk is 1 over that count. With population ⊇ sample the
-// candidate set contains the whole sample match set, so journalist risk
-// never exceeds prosecutor risk.
+// JournalistVectorContext computes the per-tuple journalist risk: the
+// adversary knows the victim is in a larger POPULATION the released sample
+// was drawn from, not that the victim is in the table. For the individual
+// of sample row i, the candidate set is every population record whose
+// ground quasi-identifiers fall inside one of the anonymized regions
+// matching the victim; the risk is 1 over that count. With population ⊇
+// sample the candidate set contains the whole sample match set, so
+// journalist risk never exceeds prosecutor risk.
+//
+// The sweep is inverted: population rows are grouped by ground signature
+// and resolved to matched-region sets through the shared memo, then each
+// DISTINCT victim region set is charged one pass over the population
+// groups — candidates(S) = Σ |group| over groups whose region set
+// intersects S.
+func JournalistVectorContext(ctx context.Context, sample, population *dataset.Table, adv *Adversary) (core.PropertyVector, error) {
+	if sample.Len() != adv.anon.Len() {
+		return nil, fmt.Errorf("attack: sample has %d rows, anonymized %d", sample.Len(), adv.anon.Len())
+	}
+	if population == nil || population.Len() < sample.Len() {
+		return nil, fmt.Errorf("attack: population must be at least the sample")
+	}
+	if population.Schema.Len() != sample.Schema.Len() {
+		return nil, fmt.Errorf("attack: population schema mismatch")
+	}
+	qi := sample.Schema.QuasiIdentifiers()
+
+	ctx, span := telemetry.Start(ctx, "attack.journalist",
+		telemetry.Int("sample", sample.Len()),
+		telemetry.Int("population", population.Len()))
+	defer span.End()
+
+	groupOf, victims := victimGroups(sample, qi)
+	matches := make([]*regionMatch, len(victims))
+	if err := adv.forEachParallel(ctx, len(victims), func(g int) error {
+		m, merr := adv.matchRegions(ctx, victims[g])
+		if merr != nil {
+			return merr
+		}
+		matches[g] = m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	popVictims, popCounts := victimGroupsCounted(population, qi)
+	popRegs := make([]*regionMatch, len(popVictims))
+	if err := adv.forEachParallel(ctx, len(popVictims), func(g int) error {
+		m, merr := adv.matchRegions(ctx, popVictims[g])
+		if merr != nil {
+			return merr
+		}
+		popRegs[g] = m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Candidate counts depend only on the matched-region SET, so dedupe the
+	// victims' sets and sweep the population groups once per distinct set.
+	setIndex := make(map[string]int)
+	var sets []bitset
+	setOf := make([]int, len(victims))
+	for g, m := range matches {
+		k := m.regs.key()
+		si, ok := setIndex[k]
+		if !ok {
+			si = len(sets)
+			setIndex[k] = si
+			sets = append(sets, m.regs)
+		}
+		setOf[g] = si
+	}
+	span.SetAttr(telemetry.Int("victim_groups", len(victims)),
+		telemetry.Int("region_sets", len(sets)))
+	cand := make([]int, len(sets))
+	if err := adv.forEachParallel(ctx, len(sets), func(si int) error {
+		c := 0
+		for pg, pm := range popRegs {
+			if sets[si].intersects(pm.regs) {
+				c += popCounts[pg]
+			}
+		}
+		cand[si] = c
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	out := make(core.PropertyVector, sample.Len())
+	for i := range out {
+		m := matches[groupOf[i]]
+		if m.rows == 0 {
+			return nil, fmt.Errorf("attack: sample row %d matches no anonymized record", i)
+		}
+		candidates := cand[setOf[groupOf[i]]]
+		if candidates < m.rows {
+			// Population does not contain the sample: fall back to the
+			// sample match set (prosecutor bound).
+			candidates = m.rows
+		}
+		out[i] = 1 / float64(candidates)
+	}
+	return out, nil
+}
+
+// JournalistVector is JournalistVectorContext without cancellation.
 func JournalistVector(sample, population *dataset.Table, adv *Adversary) (core.PropertyVector, error) {
+	return JournalistVectorContext(context.Background(), sample, population, adv)
+}
+
+// NaiveJournalistVector is the reference per-victim population-scanning
+// journalist vector the inverted pipeline is cross-validated against.
+func NaiveJournalistVector(sample, population *dataset.Table, adv *Adversary) (core.PropertyVector, error) {
 	if sample.Len() != adv.anon.Len() {
 		return nil, fmt.Errorf("attack: sample has %d rows, anonymized %d", sample.Len(), adv.anon.Len())
 	}
@@ -173,8 +561,9 @@ func JournalistVector(sample, population *dataset.Table, adv *Adversary) (core.P
 	}
 	qi := sample.Schema.QuasiIdentifiers()
 	out := make(core.PropertyVector, sample.Len())
+	var sb strings.Builder
 	for i := range out {
-		matches, err := adv.MatchSet(victimOf(sample, qi, i))
+		matches, err := adv.NaiveMatchSet(victimOf(sample, qi, i))
 		if err != nil {
 			return nil, err
 		}
@@ -185,12 +574,10 @@ func JournalistVector(sample, population *dataset.Table, adv *Adversary) (core.P
 		seen := map[string]bool{}
 		var regions []int
 		for _, m := range matches {
-			sig := ""
-			for _, j := range qi {
-				sig += adv.anon.At(m, j).Key() + "\x1f"
-			}
-			if !seen[sig] {
-				seen[sig] = true
+			sb.Reset()
+			eqclass.WriteSignature(&sb, adv.anon.Rows[m], qi)
+			if !seen[sb.String()] {
+				seen[sb.String()] = true
 				regions = append(regions, m)
 			}
 		}
@@ -222,14 +609,15 @@ func JournalistVector(sample, population *dataset.Table, adv *Adversary) (core.P
 	return out, nil
 }
 
-// TargetedRisk reports the risk distribution over a targeted subset of
-// individuals (the paper's §2 scenario): the subset's mean and worst
-// prosecutor risk. rows index the original table.
-func TargetedRisk(orig *dataset.Table, adv *Adversary, rows []int) (mean, worst float64, err error) {
+// TargetedRiskContext reports the risk distribution over a targeted subset
+// of individuals (the paper's §2 scenario): the subset's mean and worst
+// prosecutor risk. rows index the original table. The prosecutor vector is
+// served from the adversary's cache when already computed.
+func TargetedRiskContext(ctx context.Context, orig *dataset.Table, adv *Adversary, rows []int) (mean, worst float64, err error) {
 	if len(rows) == 0 {
 		return 0, 0, fmt.Errorf("attack: empty target subset")
 	}
-	risk, err := ProsecutorVector(orig, adv)
+	risk, err := ProsecutorVectorContext(ctx, orig, adv)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -243,4 +631,9 @@ func TargetedRisk(orig *dataset.Table, adv *Adversary, rows []int) (mean, worst 
 		}
 	}
 	return mean / float64(len(rows)), worst, nil
+}
+
+// TargetedRisk is TargetedRiskContext without cancellation.
+func TargetedRisk(orig *dataset.Table, adv *Adversary, rows []int) (mean, worst float64, err error) {
+	return TargetedRiskContext(context.Background(), orig, adv, rows)
 }

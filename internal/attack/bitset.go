@@ -1,0 +1,98 @@
+package attack
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// bitset is a fixed-width set of region ids backed by 64-bit words. All
+// operands of the binary operations must share one width (they are always
+// sized by the same region count).
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) or(c bitset) {
+	for i, w := range c {
+		b[i] |= w
+	}
+}
+
+func (b bitset) and(c bitset) {
+	for i := range b {
+		b[i] &= c[i]
+	}
+}
+
+// andNot clears every bit of c from b.
+func (b bitset) andNot(c bitset) {
+	for i := range b {
+		b[i] &^= c[i]
+	}
+}
+
+func (b bitset) zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// setAll sets the first n bits.
+func (b bitset) setAll(n int) {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if n&63 != 0 {
+		b[len(b)-1] = 1<<(uint(n)&63) - 1
+	}
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bitset) intersects(c bitset) bool {
+	for i, w := range b {
+		if w&c[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (b bitset) clone() bitset { return append(bitset(nil), b...) }
+
+// forEach calls f with every set bit in ascending order.
+func (b bitset) forEach(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			f(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// key returns the raw words as a string, grouping identical region sets
+// under one map key (the journalist sweep dedupes candidate sets by it).
+func (b bitset) key() string {
+	buf := make([]byte, 8*len(b))
+	for i, w := range b {
+		binary.LittleEndian.PutUint64(buf[8*i:], w)
+	}
+	return string(buf)
+}

@@ -52,10 +52,7 @@ func FromColumns(t *dataset.Table, cols []int) (*Partition, error) {
 	var sb strings.Builder
 	for i, row := range t.Rows {
 		sb.Reset()
-		for _, j := range cols {
-			sb.WriteString(row[j].Key())
-			sb.WriteByte('\x1f')
-		}
+		WriteSignature(&sb, row, cols)
 		sig := sb.String()
 		ci, ok := index[sig]
 		if !ok {
@@ -67,6 +64,29 @@ func FromColumns(t *dataset.Table, cols []int) (*Partition, error) {
 		p.ClassOf[i] = ci
 	}
 	return p, nil
+}
+
+// WriteSignature appends the '\x1f'-separated Value.Key signature of row
+// restricted to cols — the grouping key FromColumns partitions by. Callers
+// that signature many rows reuse one strings.Builder (Reset between rows)
+// to avoid the quadratic cost of string concatenation in a loop.
+func WriteSignature(sb *strings.Builder, row []dataset.Value, cols []int) {
+	for _, j := range cols {
+		sb.WriteString(row[j].Key())
+		sb.WriteByte('\x1f')
+	}
+}
+
+// KeySignature returns the signature of one explicit value tuple — what
+// WriteSignature produces when cols selects every element in order. Used
+// to key memoization of victim quasi-identifier tuples in package attack.
+func KeySignature(vals []dataset.Value) string {
+	var sb strings.Builder
+	for _, v := range vals {
+		sb.WriteString(v.Key())
+		sb.WriteByte('\x1f')
+	}
+	return sb.String()
 }
 
 // FromSignatures groups rows by a precomputed per-row signature — the

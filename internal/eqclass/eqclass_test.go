@@ -2,6 +2,7 @@ package eqclass
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -255,5 +256,46 @@ func TestSensitiveCountsSumToClassSizeQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSignatureHelpers(t *testing.T) {
+	row := []dataset.Value{dataset.StrVal("13053"), dataset.NumVal(28), dataset.StarVal()}
+	var sb strings.Builder
+	WriteSignature(&sb, row, []int{0, 1, 2})
+	want := "s:13053\x1fn:28\x1f*\x1f"
+	if sb.String() != want {
+		t.Fatalf("WriteSignature = %q, want %q", sb.String(), want)
+	}
+	if got := KeySignature(row); got != want {
+		t.Fatalf("KeySignature = %q, want %q", got, want)
+	}
+	// Column subsetting and builder reuse.
+	sb.Reset()
+	WriteSignature(&sb, row, []int{1})
+	if sb.String() != "n:28\x1f" {
+		t.Fatalf("subset signature = %q", sb.String())
+	}
+	// FromColumns groups by exactly this signature: rows with equal
+	// KeySignature land in one class.
+	tab := dataset.NewTable(dataset.MustSchema(
+		dataset.Attribute{Name: "A", Role: dataset.QuasiIdentifier},
+		dataset.Attribute{Name: "B", Kind: dataset.Numeric, Role: dataset.QuasiIdentifier},
+	))
+	tab.MustAppend(dataset.StrVal("x"), dataset.NumVal(1))
+	tab.MustAppend(dataset.StrVal("x"), dataset.NumVal(1))
+	tab.MustAppend(dataset.StrVal("y"), dataset.NumVal(1))
+	p, err := FromColumns(tab, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumClasses() != 2 || p.ClassOf[0] != p.ClassOf[1] || p.ClassOf[0] == p.ClassOf[2] {
+		t.Fatalf("partition = %+v", p)
+	}
+	if KeySignature(tab.Rows[0]) != KeySignature(tab.Rows[1]) {
+		t.Error("equal rows must share a signature")
+	}
+	if KeySignature(tab.Rows[0]) == KeySignature(tab.Rows[2]) {
+		t.Error("distinct rows must not share a signature")
 	}
 }

@@ -68,13 +68,15 @@ func e17(opts Options) Experiment {
 						rows[i] = attackRow{err: err}
 						return
 					}
-					risk, err := attack.ProsecutorVector(tab, adv)
+					risk, err := attack.ProsecutorVectorContext(ctx, tab, adv)
 					if err != nil {
 						rows[i] = attackRow{err: err}
 						return
 					}
 					s := stats.Summarize(risk)
-					tMean, tWorst, err := attack.TargetedRisk(tab, adv, target)
+					// Served from the adversary's prosecutor cache — the
+					// vector above is not recomputed.
+					tMean, tWorst, err := attack.TargetedRiskContext(ctx, tab, adv, target)
 					if err != nil {
 						rows[i] = attackRow{err: err}
 						return

@@ -598,3 +598,35 @@ func TestHierarchyErrorMessagesNameAttribute(t *testing.T) {
 		t.Errorf("error should name the attribute: %v", err)
 	}
 }
+
+func TestCoveringLabels(t *testing.T) {
+	tax := maritalTaxonomy(t)
+	got := tax.CoveringLabels("CF-Spouse")
+	want := []string{"CF-Spouse", "Married", "*"}
+	if len(got) != len(want) {
+		t.Fatalf("CoveringLabels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CoveringLabels = %v, want %v", got, want)
+		}
+	}
+	if tax.CoveringLabels("Alien") != nil {
+		t.Error("unknown ground value should yield nil")
+	}
+	// CoveringLabels must agree with CoversValue for every on-tree label.
+	for _, ground := range tax.Leaves() {
+		covering := map[string]bool{}
+		for _, lbl := range tax.CoveringLabels(ground) {
+			covering[lbl] = true
+			if !tax.CoversValue(lbl, ground) {
+				t.Fatalf("CoveringLabels(%q) lists %q but CoversValue denies it", ground, lbl)
+			}
+		}
+		for _, other := range []string{"Married", "Not Married", "*"} {
+			if tax.CoversValue(other, ground) && !covering[other] {
+				t.Fatalf("CoversValue(%q, %q) holds but CoveringLabels omits it", other, ground)
+			}
+		}
+	}
+}

@@ -259,6 +259,24 @@ func (t *Taxonomy) LCA(grounds []string) (label string, isRoot bool, err error) 
 	return lca.Label, lca == t.root, nil
 }
 
+// CoveringLabels returns the labels of every node on the path from the
+// ground value's leaf to the root — exactly the generalized labels g
+// (other than the universal "*") for which CoversValue(g, ground) holds.
+// It returns nil for ground values outside the taxonomy. Package attack
+// uses it to resolve Set-cell candidates by hash lookup instead of
+// walking the tree per anonymized row.
+func (t *Taxonomy) CoveringLabels(ground string) []string {
+	leaf, ok := t.leafOf[ground]
+	if !ok {
+		return nil
+	}
+	var out []string
+	for n := leaf; n != nil; n = t.parents[n] {
+		out = append(out, n.Label)
+	}
+	return out
+}
+
 // CoversValue reports whether the generalized label g (an interior node
 // label, a leaf label, or "*") covers the ground value ground.
 func (t *Taxonomy) CoversValue(g, ground string) bool {

@@ -11,6 +11,7 @@ package measure
 
 import (
 	"fmt"
+	"sync"
 
 	"microdata/internal/core"
 	"microdata/internal/dataset"
@@ -21,7 +22,9 @@ import (
 )
 
 // Context carries everything an extractor may need about one
-// anonymization of one original table.
+// anonymization of one original table, plus lazily shared intermediates:
+// the sensitive column and the per-class sensitive-value histograms are
+// computed once and reused by every extractor that needs them.
 type Context struct {
 	// Orig is the original microdata table.
 	Orig *dataset.Table
@@ -32,6 +35,14 @@ type Context struct {
 	Partition *eqclass.Partition
 	// Taxonomies feeds loss scoring of Set-generalized cells.
 	Taxonomies map[string]*hierarchy.Taxonomy
+
+	sensOnce sync.Once
+	sensCol  []dataset.Value
+	sensErr  error
+
+	histOnce sync.Once
+	hist     []map[string]int
+	histErr  error
 }
 
 // NewContext validates and completes a measurement context.
@@ -52,12 +63,33 @@ func NewContext(orig, anon *dataset.Table, taxonomies map[string]*hierarchy.Taxo
 	return &Context{Orig: orig, Anon: anon, Partition: p, Taxonomies: taxonomies}, nil
 }
 
-func (c *Context) sensitive() ([]dataset.Value, error) {
-	si := c.Orig.Schema.SensitiveIndex()
-	if si < 0 {
-		return nil, fmt.Errorf("measure: schema has no sensitive attribute")
-	}
-	return c.Orig.Column(si), nil
+// SensitiveColumn returns the original table's sensitive column, extracted
+// once and shared across extractors.
+func (c *Context) SensitiveColumn() ([]dataset.Value, error) {
+	c.sensOnce.Do(func() {
+		si := c.Orig.Schema.SensitiveIndex()
+		if si < 0 {
+			c.sensErr = fmt.Errorf("measure: schema has no sensitive attribute")
+			return
+		}
+		c.sensCol = c.Orig.Column(si)
+	})
+	return c.sensCol, c.sensErr
+}
+
+// ClassHistograms returns the per-class sensitive-value histograms
+// (Partition.ValueCounts), tallied once and shared by SensitiveCount,
+// DistinctSensitive, BreachSafety and TClosenessSafety.
+func (c *Context) ClassHistograms() ([]map[string]int, error) {
+	c.histOnce.Do(func() {
+		col, err := c.SensitiveColumn()
+		if err != nil {
+			c.histErr = err
+			return
+		}
+		c.hist, c.histErr = c.Partition.ValueCounts(col)
+	})
+	return c.hist, c.histErr
 }
 
 // Property is one measurable per-tuple property of an anonymization.
@@ -87,11 +119,15 @@ func SensitiveCount() Property {
 	return Property{
 		Name: "sensitive-count",
 		Extract: func(c *Context) (core.PropertyVector, error) {
-			col, err := c.sensitive()
+			col, err := c.SensitiveColumn()
 			if err != nil {
 				return nil, err
 			}
-			v, err := c.Partition.SensitiveCountVector(col)
+			hist, err := c.ClassHistograms()
+			if err != nil {
+				return nil, err
+			}
+			v, err := privacy.SensitiveCountVectorFromCounts(c.Partition, col, hist)
 			if err != nil {
 				return nil, err
 			}
@@ -106,11 +142,11 @@ func DistinctSensitive() Property {
 	return Property{
 		Name: "distinct-sensitive",
 		Extract: func(c *Context) (core.PropertyVector, error) {
-			col, err := c.sensitive()
+			hist, err := c.ClassHistograms()
 			if err != nil {
 				return nil, err
 			}
-			v, err := privacy.DistinctCountVector(c.Partition, col)
+			v, err := privacy.DistinctCountVectorFromCounts(c.Partition, hist)
 			if err != nil {
 				return nil, err
 			}
@@ -126,11 +162,15 @@ func BreachSafety() Property {
 	return Property{
 		Name: "breach-safety",
 		Extract: func(c *Context) (core.PropertyVector, error) {
-			col, err := c.sensitive()
+			col, err := c.SensitiveColumn()
 			if err != nil {
 				return nil, err
 			}
-			probs, err := privacy.BreachProbabilityVector(c.Partition, col)
+			hist, err := c.ClassHistograms()
+			if err != nil {
+				return nil, err
+			}
+			probs, err := privacy.BreachProbabilityVectorFromCounts(c.Partition, col, hist)
 			if err != nil {
 				return nil, err
 			}
@@ -150,11 +190,15 @@ func TClosenessSafety() Property {
 	return Property{
 		Name: "t-closeness-safety",
 		Extract: func(c *Context) (core.PropertyVector, error) {
-			col, err := c.sensitive()
+			col, err := c.SensitiveColumn()
 			if err != nil {
 				return nil, err
 			}
-			d, err := privacy.TClosenessVector(c.Partition, col, false)
+			hist, err := c.ClassHistograms()
+			if err != nil {
+				return nil, err
+			}
+			d, err := privacy.TClosenessVectorFromCounts(c.Partition, col, hist, false)
 			if err != nil {
 				return nil, err
 			}

@@ -55,7 +55,7 @@ func Summarize(c *Context) (*Summary, error) {
 		ClassSizeMedian: dist.Median,
 		ClassSizeMax:    dist.Max,
 	}
-	if col, err := c.sensitive(); err == nil {
+	if col, err := c.SensitiveColumn(); err == nil {
 		if dl, err := privacy.DistinctLDiversity(c.Partition, col); err == nil {
 			s.DistinctL = dl
 		}

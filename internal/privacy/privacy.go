@@ -152,9 +152,59 @@ func DistinctCountVector(p *eqclass.Partition, sensitive []dataset.Value) ([]flo
 	if err != nil {
 		return nil, err
 	}
+	return DistinctCountVectorFromCounts(p, counts)
+}
+
+// checkCounts validates precomputed per-class histograms against the
+// partition shape, shared by the FromCounts vector sources.
+func checkCounts(p *eqclass.Partition, counts []map[string]int) error {
+	if len(counts) != p.NumClasses() {
+		return fmt.Errorf("privacy: %d class histograms for %d classes", len(counts), p.NumClasses())
+	}
+	return nil
+}
+
+// SensitiveCountVectorFromCounts is SensitiveCountVector computed from
+// precomputed per-class sensitive histograms (Partition.ValueCounts
+// output), letting callers tally the column once and share it across
+// several vector sources.
+func SensitiveCountVectorFromCounts(p *eqclass.Partition, sensitive []dataset.Value, counts []map[string]int) ([]float64, error) {
+	if len(sensitive) != p.N() {
+		return nil, fmt.Errorf("privacy: sensitive column has %d values for %d rows", len(sensitive), p.N())
+	}
+	if err := checkCounts(p, counts); err != nil {
+		return nil, err
+	}
+	out := make([]float64, p.N())
+	for i := range out {
+		out[i] = float64(counts[p.ClassOf[i]][sensitive[i].Key()])
+	}
+	return out, nil
+}
+
+// DistinctCountVectorFromCounts is DistinctCountVector computed from
+// precomputed per-class histograms.
+func DistinctCountVectorFromCounts(p *eqclass.Partition, counts []map[string]int) ([]float64, error) {
+	if err := checkCounts(p, counts); err != nil {
+		return nil, err
+	}
 	out := make([]float64, p.N())
 	for i := range out {
 		out[i] = float64(len(counts[p.ClassOf[i]]))
+	}
+	return out, nil
+}
+
+// BreachProbabilityVectorFromCounts is BreachProbabilityVector computed
+// from precomputed per-class histograms.
+func BreachProbabilityVectorFromCounts(p *eqclass.Partition, sensitive []dataset.Value, counts []map[string]int) ([]float64, error) {
+	counted, err := SensitiveCountVectorFromCounts(p, sensitive, counts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, p.N())
+	for i := range out {
+		out[i] = counted[i] / float64(p.Size(i))
 	}
 	return out, nil
 }

@@ -71,6 +71,51 @@ func TClosenessVector(p *eqclass.Partition, sensitive []dataset.Value, ordered b
 	return out, nil
 }
 
+// TClosenessVectorFromCounts is TClosenessVector computed from precomputed
+// per-class sensitive histograms (Partition.ValueCounts output). The class
+// distributions come from the integer tallies — exact in float64 — so the
+// result is identical to TClosenessVector's.
+func TClosenessVectorFromCounts(p *eqclass.Partition, sensitive []dataset.Value, counts []map[string]int, ordered bool) ([]float64, error) {
+	if len(sensitive) != p.N() {
+		return nil, fmt.Errorf("privacy: sensitive column has %d values for %d rows", len(sensitive), p.N())
+	}
+	if err := checkCounts(p, counts); err != nil {
+		return nil, err
+	}
+	keys, global := distribution(sensitive, nil, ordered)
+	pos := make(map[string]int, len(keys))
+	for i, k := range keys {
+		pos[k] = i
+	}
+	perClass := make([]float64, p.NumClasses())
+	local := make([]float64, len(keys))
+	for ci, m := range counts {
+		for i := range local {
+			local[i] = 0
+		}
+		total := 0.0
+		for k, cnt := range m {
+			j, ok := pos[k]
+			if !ok {
+				return nil, fmt.Errorf("privacy: histogram key %q not in sensitive column", k)
+			}
+			local[j] = float64(cnt)
+			total += float64(cnt)
+		}
+		if total > 0 {
+			for i := range local {
+				local[i] /= total
+			}
+		}
+		perClass[ci] = emd(local, global, ordered)
+	}
+	out := make([]float64, p.N())
+	for i := range out {
+		out[i] = perClass[p.ClassOf[i]]
+	}
+	return out, nil
+}
+
 // ClassEMD returns the earth mover's distance between the sensitive-value
 // distribution of the selected rows and the distribution of the whole
 // column — the quantity t-closeness bounds per equivalence class. Exposed
