@@ -10,11 +10,14 @@
 //	anonbench -enginestats -n 10000 -ks 5
 //	anonbench -bench-attack -n 10000 -ks 5 -bench-attack-out BENCH_attack.json
 //
-// Observability (see README "Observability"):
+// Observability (see README "Observability" and "Live observability"):
 //
 //	anonbench -run E14 -v -log-format json
 //	anonbench -run E1 -trace trace.json -metrics metrics.json
 //	anonbench -enginestats -n 5000 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	anonbench -run all -n 10000 -progress
+//	anonbench -run E14 -n 10000 -debug-addr :9090        # /metrics, /debug/pprof/*
+//	anonbench -run E14 -report run.json                  # unified JSON run report
 package main
 
 import (
@@ -23,11 +26,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"microdata"
@@ -51,6 +56,11 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write a metrics snapshot JSON file (\"-\" for stdout)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+
+		progressUI = flag.Bool("progress", false, "render live progress (done/total, rate, ETA) on stderr")
+		debugAddr  = flag.String("debug-addr", "", "serve the HTTP debug endpoints (/metrics, /debug/pprof/*, /healthz, /progress, /runinfo) on this address (\":0\" picks a free port)")
+		debugHold  = flag.Bool("debug-hold", false, "with -debug-addr: keep serving after the run completes until interrupted")
+		reportOut  = flag.String("report", "", "write the unified JSON run report to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
 
@@ -60,6 +70,8 @@ func main() {
 		verbose: *verbose, logFormat: *logFormat,
 		traceOut: *traceOut, metricsOut: *metricsOut,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
+		progress: *progressUI, debugAddr: *debugAddr, debugHold: *debugHold,
+		reportOut: *reportOut,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "anonbench:", err)
 		os.Exit(1)
@@ -79,6 +91,10 @@ type options struct {
 	logFormat              string
 	traceOut, metricsOut   string
 	cpuProfile, memProfile string
+	progress               bool
+	debugAddr              string
+	debugHold              bool
+	reportOut              string
 }
 
 // realMain wires the observability sinks around the selected mode so every
@@ -98,14 +114,39 @@ func realMain(o options) error {
 		microdata.SetLogHandler(h)
 	}
 
-	// A collector is installed whenever any span consumer is active:
-	// -trace and -metrics need it, and -enginestats derives its per-phase
-	// breakdown from the recorded spans.
+	// A collector is installed whenever any span or metrics consumer is
+	// active: -trace and -metrics need it, -enginestats derives its
+	// per-phase breakdown from the recorded spans, the debug server's
+	// /metrics endpoint scrapes its registry, and -report merges all of it.
 	var col *microdata.TelemetryCollector
-	if o.traceOut != "" || o.metricsOut != "" || o.engStat {
+	if o.traceOut != "" || o.metricsOut != "" || o.engStat || o.debugAddr != "" || o.reportOut != "" {
 		col = microdata.NewTelemetryCollector()
 		microdata.SetTelemetryCollector(col)
 		defer microdata.SetTelemetryCollector(nil)
+	}
+
+	// Progress tracking feeds both the -progress terminal renderer and the
+	// debug server's /progress endpoint and progress.* metric series.
+	var progRoot *microdata.ProgressTracker
+	if o.progress || o.debugAddr != "" {
+		progRoot = microdata.EnableProgress("anonbench")
+		defer microdata.DisableProgress()
+	}
+	var renderer *microdata.ProgressRenderer
+	if o.progress {
+		renderer = microdata.NewProgressRenderer(os.Stderr, progRoot, 0)
+		defer renderer.Stop()
+	}
+
+	var srv *microdata.DebugServer
+	if o.debugAddr != "" {
+		var err error
+		srv, err = microdata.StartDebugServer(o.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "anonbench: debug server listening on %s\n", srv.URL())
 	}
 
 	if o.cpuProfile != "" {
@@ -137,6 +178,7 @@ func realMain(o options) error {
 	// Sinks flush after the mode body returns (and after the run root span
 	// ends), so the deferred writers run last-in-first-out before the
 	// profile defers above.
+	rb := microdata.BeginRunReport("anonbench", mode(o))
 	var runErr error
 	func() {
 		ctx, sp := microdata.StartSpan(context.Background(), "anonbench.run",
@@ -161,6 +203,12 @@ func realMain(o options) error {
 		}
 	}()
 
+	// The renderer's final frame must land before any stdout report writers
+	// run, and the run report snapshots the tracker tree before it is torn
+	// down by the deferred DisableProgress.
+	if renderer != nil {
+		renderer.Stop()
+	}
 	if col != nil && o.traceOut != "" {
 		if err := writeFileOrStdout(o.traceOut, col.Tracer.WriteChromeTrace); err != nil {
 			return fmt.Errorf("trace: %w", err)
@@ -171,6 +219,18 @@ func realMain(o options) error {
 		if err := writeFileOrStdout(o.metricsOut, snap.WriteJSON); err != nil {
 			return fmt.Errorf("metrics: %w", err)
 		}
+	}
+	if o.reportOut != "" {
+		rep := rb.Finish(col, progRoot)
+		if err := writeFileOrStdout(o.reportOut, rep.WriteJSON); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	if srv != nil && o.debugHold && runErr == nil {
+		fmt.Fprintf(os.Stderr, "anonbench: run complete; holding debug server on %s (interrupt to exit)\n", srv.URL())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 	return runErr
 }

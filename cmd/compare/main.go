@@ -27,6 +27,7 @@ func main() {
 
 		verbose   = flag.Bool("v", false, "enable debug-level structured logging on stderr")
 		logFormat = flag.String("log-format", "", "structured log format: text or json (implies logging even without -v)")
+		progress  = flag.Bool("progress", false, "render live progress (done/total, rate, ETA) on stderr")
 	)
 	flag.Parse()
 	if *verbose || *logFormat != "" {
@@ -36,6 +37,12 @@ func main() {
 			os.Exit(2)
 		}
 		microdata.SetLogHandler(h)
+	}
+	if *progress {
+		root := microdata.EnableProgress("compare")
+		defer microdata.DisableProgress()
+		r := microdata.NewProgressRenderer(os.Stderr, root, 0)
+		defer r.Stop()
 	}
 	if err := run(os.Stdout, *orig, *a, *b, *paper); err != nil {
 		fmt.Fprintln(os.Stderr, "compare:", err)

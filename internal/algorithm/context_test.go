@@ -8,9 +8,9 @@ import (
 	"microdata/internal/algorithm"
 	"microdata/internal/algorithm/algtest"
 	"microdata/internal/algorithm/mondrian"
-	"microdata/internal/dataset"
 	"microdata/internal/algorithm/optimal"
 	"microdata/internal/algorithm/samarati"
+	"microdata/internal/dataset"
 	"microdata/internal/engine"
 )
 

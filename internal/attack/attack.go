@@ -49,6 +49,7 @@ import (
 	"microdata/internal/eqclass"
 	"microdata/internal/hierarchy"
 	"microdata/internal/telemetry"
+	"microdata/internal/telemetry/progress"
 )
 
 // Adversary matches ground quasi-identifier values against an anonymized
@@ -356,6 +357,8 @@ func ProsecutorVectorContext(ctx context.Context, orig *dataset.Table, adv *Adve
 
 	groupOf, victims := victimGroups(orig, adv.qi)
 	span.SetAttr(telemetry.Int("victim_groups", len(victims)))
+	ctx, tr := progress.Start(ctx, "attack.prosecutor", len(victims))
+	defer tr.Finish()
 	matches := make([]*regionMatch, len(victims))
 	err := adv.forEachParallel(ctx, len(victims), func(g int) error {
 		m, merr := adv.matchRegions(ctx, victims[g])
@@ -363,6 +366,7 @@ func ProsecutorVectorContext(ctx context.Context, orig *dataset.Table, adv *Adve
 			return merr
 		}
 		matches[g] = m
+		tr.Add(1)
 		return nil
 	})
 	if err != nil {
@@ -468,7 +472,11 @@ func JournalistVectorContext(ctx context.Context, sample, population *dataset.Ta
 		telemetry.Int("population", population.Len()))
 	defer span.End()
 
+	// The journalist sweep has three shard stages whose sizes become known
+	// one at a time; the tracker's total grows with each stage.
 	groupOf, victims := victimGroups(sample, qi)
+	ctx, tr := progress.Start(ctx, "attack.journalist", len(victims))
+	defer tr.Finish()
 	matches := make([]*regionMatch, len(victims))
 	if err := adv.forEachParallel(ctx, len(victims), func(g int) error {
 		m, merr := adv.matchRegions(ctx, victims[g])
@@ -476,12 +484,14 @@ func JournalistVectorContext(ctx context.Context, sample, population *dataset.Ta
 			return merr
 		}
 		matches[g] = m
+		tr.Add(1)
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 
 	popVictims, popCounts := victimGroupsCounted(population, qi)
+	tr.AddTotal(len(popVictims))
 	popRegs := make([]*regionMatch, len(popVictims))
 	if err := adv.forEachParallel(ctx, len(popVictims), func(g int) error {
 		m, merr := adv.matchRegions(ctx, popVictims[g])
@@ -489,6 +499,7 @@ func JournalistVectorContext(ctx context.Context, sample, population *dataset.Ta
 			return merr
 		}
 		popRegs[g] = m
+		tr.Add(1)
 		return nil
 	}); err != nil {
 		return nil, err
@@ -511,6 +522,7 @@ func JournalistVectorContext(ctx context.Context, sample, population *dataset.Ta
 	}
 	span.SetAttr(telemetry.Int("victim_groups", len(victims)),
 		telemetry.Int("region_sets", len(sets)))
+	tr.AddTotal(len(sets))
 	cand := make([]int, len(sets))
 	if err := adv.forEachParallel(ctx, len(sets), func(si int) error {
 		c := 0
@@ -520,6 +532,7 @@ func JournalistVectorContext(ctx context.Context, sample, population *dataset.Ta
 			}
 		}
 		cand[si] = c
+		tr.Add(1)
 		return nil
 	}); err != nil {
 		return nil, err

@@ -49,6 +49,7 @@ import (
 	"microdata/internal/eqclass"
 	"microdata/internal/lattice"
 	"microdata/internal/telemetry"
+	"microdata/internal/telemetry/progress"
 	"microdata/internal/utility"
 )
 
@@ -516,6 +517,8 @@ func (e *Engine) suppressedPartition(ev *Evaluation) (*eqclass.Partition, error)
 func (e *Engine) EvaluateAll(ctx context.Context, nodes []lattice.Node) ([]*Evaluation, error) {
 	ctx, sp := telemetry.Start(ctx, "engine.evaluate_all", telemetry.Int("batch", len(nodes)))
 	defer sp.End()
+	ctx, tr := progress.Start(ctx, "engine.evaluate_all", len(nodes))
+	defer tr.Finish()
 	out := make([]*Evaluation, len(nodes))
 	workers := e.workers
 	if workers > len(nodes) {
@@ -528,6 +531,7 @@ func (e *Engine) EvaluateAll(ctx context.Context, nodes []lattice.Node) ([]*Eval
 				return out, err
 			}
 			out[i] = ev
+			tr.Add(1)
 		}
 		return out, nil
 	}
@@ -561,6 +565,7 @@ func (e *Engine) EvaluateAll(ctx context.Context, nodes []lattice.Node) ([]*Eval
 					return
 				}
 				out[i] = ev
+				tr.Add(1)
 			}
 		}()
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"microdata/internal/telemetry"
+	"microdata/internal/telemetry/progress"
 )
 
 // Options tunes the scaled experiments; the zero value picks defaults
@@ -86,12 +87,17 @@ func RunAll(w io.Writer, opts Options) error {
 }
 
 // RunAllContext is RunAll honoring a context; each experiment runs under
-// its own telemetry span.
+// its own telemetry span, and the batch reports progress (done count and
+// ETA over the experiment roster) when progress tracking is enabled.
 func RunAllContext(ctx context.Context, w io.Writer, opts Options) error {
-	for _, e := range Registry(opts) {
+	exps := Registry(opts)
+	ctx, tr := progress.Start(ctx, "experiments", len(exps))
+	defer tr.Finish()
+	for _, e := range exps {
 		if err := runOne(ctx, w, e); err != nil {
 			return err
 		}
+		tr.Add(1)
 	}
 	return nil
 }
@@ -114,6 +120,8 @@ func runOne(ctx context.Context, w io.Writer, e Experiment) error {
 	ctx, sp := telemetry.Start(ctx, "experiment."+e.ID,
 		telemetry.String("title", e.Title), telemetry.String("artifact", e.Artifact))
 	defer sp.End()
+	ctx, tr := progress.Start(ctx, "experiment."+e.ID, -1)
+	defer tr.Finish()
 	telemetry.L().Info("experiment: starting", "id", e.ID, "title", e.Title)
 	start := time.Now()
 	fmt.Fprintf(w, "=== %s: %s (%s) ===\n", e.ID, e.Title, e.Artifact)

@@ -1,0 +1,188 @@
+// Package debugserver embeds an HTTP observability endpoint in the CLIs:
+// a net/http server (stdlib only) exposing
+//
+//	/metrics            Prometheus text exposition of the active telemetry
+//	                    registry plus progress.* gauges and process stats
+//	/debug/pprof/*      the standard runtime profiling endpoints
+//	/healthz            liveness ("ok")
+//	/progress           the live progress-tracker tree as JSON
+//	/runinfo            build info, command line, start time, runtime stats
+//
+// Start binds the listener immediately (addr ":0" picks a free port —
+// Addr reports the resolved address) and serves in a background goroutine
+// until Close. The server reads the process-wide telemetry.Active()
+// collector and progress.Active() root at request time, so it can be
+// started before either is installed and still serve whatever is live
+// when scraped.
+package debugserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"microdata/internal/telemetry"
+	"microdata/internal/telemetry/export"
+	"microdata/internal/telemetry/progress"
+)
+
+// Server is a running debug HTTP server. Construct with Start.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+	// Command and Args annotate /runinfo; Start fills them from os.Args.
+	command string
+	args    []string
+}
+
+// Start binds addr (host:port; ":0" for an ephemeral port) and serves the
+// debug endpoints until Close.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugserver: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, start: time.Now()}
+	if len(os.Args) > 0 {
+		s.command = os.Args[0]
+		s.args = os.Args[1:]
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/runinfo", s.handleRunInfo)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	telemetry.L().Info("debugserver: listening", "addr", s.Addr())
+	return s, nil
+}
+
+// Addr returns the server's resolved listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close shuts the server down, waiting briefly for in-flight requests.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the active collector's registry in Prometheus text
+// format, followed by progress.* gauges derived from the live tracker tree
+// and a handful of process-level series, so a scrape is never empty.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", export.ContentType)
+	if c := telemetry.Active(); c != nil && c.Metrics != nil {
+		if err := export.WritePrometheus(w, c.Metrics.Snapshot()); err != nil {
+			return
+		}
+	}
+	extra := telemetry.Snapshot{Gauges: map[string]float64{
+		"process.uptime.seconds": time.Since(s.start).Seconds(),
+		"go.goroutines":          float64(runtime.NumGoroutine()),
+		"go.gomaxprocs":          float64(runtime.GOMAXPROCS(0)),
+	}}
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	extra.Gauges["go.heap.alloc.bytes"] = float64(mem.HeapAlloc)
+	extra.Gauges["go.gc.cycles"] = float64(mem.NumGC)
+	if root := progress.Active(); root != nil {
+		flattenProgress(extra.Gauges, "progress", root.Snapshot())
+	}
+	export.WritePrometheus(w, extra)
+}
+
+// flattenProgress folds a tracker tree into prefixed gauges:
+// progress.<name>.done / .total / .rate_hz / .eta_seconds.
+func flattenProgress(g map[string]float64, prefix string, n *progress.Node) {
+	if n == nil {
+		return
+	}
+	p := prefix + "." + n.Name
+	g[p+".done"] = float64(n.Done)
+	g[p+".total"] = float64(n.Total)
+	g[p+".rate_hz"] = n.RateHz
+	if n.ETASeconds >= 0 {
+		g[p+".eta_seconds"] = n.ETASeconds
+	}
+	for _, c := range n.Children {
+		flattenProgress(g, p, c)
+	}
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	root := progress.Active()
+	if root == nil {
+		enc.Encode(map[string]any{"enabled": false})
+		return
+	}
+	enc.Encode(map[string]any{"enabled": true, "root": root.Snapshot()})
+}
+
+// runInfo is the /runinfo document.
+type runInfo struct {
+	Command      string    `json:"command"`
+	Args         []string  `json:"args"`
+	Pid          int       `json:"pid"`
+	StartTime    time.Time `json:"start_time"`
+	UptimeSec    float64   `json:"uptime_seconds"`
+	GoVersion    string    `json:"go_version"`
+	GOMAXPROCS   int       `json:"gomaxprocs"`
+	NumGoroutine int       `json:"num_goroutine"`
+	Module       string    `json:"module,omitempty"`
+	VCSRevision  string    `json:"vcs_revision,omitempty"`
+	Telemetry    bool      `json:"telemetry_enabled"`
+	Progress     bool      `json:"progress_enabled"`
+}
+
+func (s *Server) handleRunInfo(w http.ResponseWriter, _ *http.Request) {
+	info := runInfo{
+		Command:      s.command,
+		Args:         s.args,
+		Pid:          os.Getpid(),
+		StartTime:    s.start,
+		UptimeSec:    time.Since(s.start).Seconds(),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumGoroutine: runtime.NumGoroutine(),
+		Telemetry:    telemetry.Enabled(),
+		Progress:     progress.Enabled(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.Module = bi.Main.Path
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				info.VCSRevision = kv.Value
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(info)
+}

@@ -1,0 +1,176 @@
+package debugserver
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"microdata/internal/telemetry"
+	"microdata/internal/telemetry/export"
+	"microdata/internal/telemetry/progress"
+)
+
+// startTestServer boots a server on an ephemeral port with a live collector
+// and progress tree installed, restoring the process-wide state afterwards.
+func startTestServer(t *testing.T) *Server {
+	t.Helper()
+	col := telemetry.NewCollector()
+	col.Metrics.Counter("engine.nodes.evaluated").Add(123)
+	col.Metrics.Histogram("engine.eval.ns", []float64{1e3, 1e6}).Observe(500)
+	prev := telemetry.SetCollector(col)
+	t.Cleanup(func() { telemetry.SetCollector(prev) })
+
+	progress.Enable("test-run")
+	t.Cleanup(progress.Disable)
+	_, tr := progress.Start(context.Background(), "engine.evaluate_all", 100)
+	tr.Add(40)
+
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %q", url, resp.StatusCode, body)
+	}
+	return string(body), resp
+}
+
+func TestHealthz(t *testing.T) {
+	s := startTestServer(t)
+	body, _ := get(t, s.URL()+"/healthz")
+	if body != "ok\n" {
+		t.Errorf("/healthz = %q, want \"ok\\n\"", body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := startTestServer(t)
+	body, resp := get(t, s.URL()+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); ct != export.ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, export.ContentType)
+	}
+	samples, err := export.Validate(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics failed exposition validation: %v\n%s", err, body)
+	}
+	if samples == 0 {
+		t.Fatal("/metrics served zero samples")
+	}
+	for _, want := range []string{
+		"engine_nodes_evaluated 123",
+		"engine_eval_ns_bucket{le=\"1000\"} 1",
+		"progress_test_run_engine_evaluate_all_done 40",
+		"process_uptime_seconds",
+		"go_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestProgressEndpoint(t *testing.T) {
+	s := startTestServer(t)
+	body, resp := get(t, s.URL()+"/progress")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var doc struct {
+		Enabled bool           `json:"enabled"`
+		Root    *progress.Node `json:"root"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/progress is not JSON: %v\n%s", err, body)
+	}
+	if !doc.Enabled || doc.Root == nil || doc.Root.Name != "test-run" {
+		t.Fatalf("/progress doc = %+v", doc)
+	}
+	if len(doc.Root.Children) != 1 || doc.Root.Children[0].Done != 40 {
+		t.Errorf("/progress children = %+v", doc.Root.Children)
+	}
+}
+
+func TestRunInfoEndpoint(t *testing.T) {
+	s := startTestServer(t)
+	body, _ := get(t, s.URL()+"/runinfo")
+	var info runInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("/runinfo is not JSON: %v\n%s", err, body)
+	}
+	if info.Pid != os.Getpid() {
+		t.Errorf("pid = %d, want %d", info.Pid, os.Getpid())
+	}
+	if info.GoVersion == "" || info.GOMAXPROCS < 1 || info.NumGoroutine < 1 {
+		t.Errorf("runtime fields unset: %+v", info)
+	}
+	if !info.Telemetry || !info.Progress {
+		t.Errorf("enabled flags = telemetry:%v progress:%v, want both true", info.Telemetry, info.Progress)
+	}
+}
+
+func TestPprofEndpoints(t *testing.T) {
+	s := startTestServer(t)
+	if body, _ := get(t, s.URL()+"/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline returned empty body")
+	}
+	if body, _ := get(t, s.URL()+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ index missing profile listing")
+	}
+}
+
+// TestMetricsWithoutCollector: a scrape with neither collector nor progress
+// root still serves the process-level gauges, never an empty document.
+func TestMetricsWithoutCollector(t *testing.T) {
+	prev := telemetry.SetCollector(nil)
+	t.Cleanup(func() { telemetry.SetCollector(prev) })
+	progress.Disable()
+
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	body, _ := get(t, s.URL()+"/metrics")
+	if samples, err := export.Validate(strings.NewReader(body)); err != nil || samples == 0 {
+		t.Fatalf("bare /metrics: samples=%d err=%v\n%s", samples, err, body)
+	}
+	if !strings.Contains(body, "go_gomaxprocs") {
+		t.Errorf("bare /metrics missing process gauges:\n%s", body)
+	}
+}
+
+func TestCloseStopsServing(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := s.URL()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	if _, err := client.Get(url + "/healthz"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}

@@ -1,0 +1,196 @@
+// Package export encodes telemetry metrics for external consumers. Its
+// centerpiece is the Prometheus text exposition format (text/plain;
+// version=0.0.4) over a telemetry.Snapshot: counters and gauges as single
+// samples, histograms as cumulative _bucket series with le labels plus
+// _sum and _count — what the debug server's /metrics endpoint serves and
+// any Prometheus-compatible scraper ingests. Delta reports the change
+// between two snapshots, for periodic scraping of cumulative registries.
+//
+// Output is byte-stable: Snapshot construction follows Registry.Do's
+// sorted order, the encoder walks each section's names sorted, and NaN
+// values are canonicalized at the registry layer.
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"microdata/internal/telemetry"
+)
+
+// ContentType is the HTTP Content-Type of the exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SanitizeName maps a registry metric name ("engine.cache.hit") to a valid
+// Prometheus metric name ("engine_cache_hit"): every character outside
+// [a-zA-Z0-9_:] becomes '_', and a leading digit is prefixed with '_'.
+func SanitizeName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			sb.WriteByte('_')
+			sb.WriteRune(r)
+			continue
+		}
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip decimal, with NaN/+Inf/-Inf spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLE renders a bucket bound for the le label, matching the snapshot
+// JSON's trimmed-decimal convention ("1000", "0.5", "+Inf").
+func formatLE(bound float64) string {
+	if math.IsInf(bound, 1) {
+		return "+Inf"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", bound), "0"), ".")
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format: counters, then gauges, then histograms, names sorted within each
+// section and sanitized with SanitizeName.
+func WritePrometheus(w io.Writer, s telemetry.Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		pn := SanitizeName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := SanitizeName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s %s\n", pn, formatValue(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		pn := SanitizeName(name)
+		h := s.Histograms[name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, formatLE(b.UpperBound), b.Count)
+		}
+		fmt.Fprintf(bw, "%s_sum %s\n", pn, formatValue(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
+	}
+	return bw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Delta returns cur − prev: counter values and histogram counts, sums and
+// per-bucket counts subtract; gauges keep their current value (a gauge is
+// a level, not a flow). Instruments absent from prev pass through whole,
+// so the first delta of a periodic scrape equals the full snapshot.
+func Delta(prev, cur telemetry.Snapshot) telemetry.Snapshot {
+	out := telemetry.Snapshot{}
+	if len(cur.Counters) > 0 {
+		out.Counters = make(map[string]int64, len(cur.Counters))
+		for name, v := range cur.Counters {
+			out.Counters[name] = v - prev.Counters[name]
+		}
+	}
+	if len(cur.Gauges) > 0 {
+		out.Gauges = make(map[string]float64, len(cur.Gauges))
+		for name, v := range cur.Gauges {
+			out.Gauges[name] = v
+		}
+	}
+	if len(cur.Histograms) > 0 {
+		out.Histograms = make(map[string]telemetry.HistogramSnapshot, len(cur.Histograms))
+		for name, h := range cur.Histograms {
+			p, ok := prev.Histograms[name]
+			if !ok || len(p.Buckets) != len(h.Buckets) {
+				out.Histograms[name] = h
+				continue
+			}
+			d := telemetry.HistogramSnapshot{Count: h.Count - p.Count, Sum: h.Sum - p.Sum}
+			d.Buckets = make([]telemetry.BucketCount, len(h.Buckets))
+			for i, b := range h.Buckets {
+				d.Buckets[i] = telemetry.BucketCount{UpperBound: b.UpperBound, Count: b.Count - p.Buckets[i].Count}
+			}
+			out.Histograms[name] = d
+		}
+	}
+	return out
+}
+
+var (
+	commentRE = regexp.MustCompile(`^# (TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|HELP .*)$`)
+	sampleRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9].*)( [0-9]+)?$`)
+)
+
+// Validate checks that r holds well-formed exposition-format lines: every
+// non-empty line is a # TYPE/# HELP comment or a sample with a valid
+// metric name, optional labels and a parseable value. It returns the
+// number of sample lines, or the first offending line.
+func Validate(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !commentRE.MatchString(line) {
+				return samples, fmt.Errorf("export: line %d: malformed comment %q", lineNo, line)
+			}
+			continue
+		}
+		if !sampleRE.MatchString(line) {
+			return samples, fmt.Errorf("export: line %d: malformed sample %q", lineNo, line)
+		}
+		// The value is the first field after the metric name and optional
+		// label set (label values may themselves contain spaces).
+		rest := line
+		if i := strings.LastIndex(line, "}"); i >= 0 {
+			rest = line[i+1:]
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			rest = line[i+1:]
+		}
+		val := strings.Fields(rest)[0]
+		if _, perr := strconv.ParseFloat(val, 64); perr != nil {
+			return samples, fmt.Errorf("export: line %d: bad value %q", lineNo, val)
+		}
+		samples++
+	}
+	if serr := sc.Err(); serr != nil {
+		return samples, serr
+	}
+	return samples, nil
+}

@@ -1,0 +1,161 @@
+package export
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"microdata/internal/telemetry"
+)
+
+func buildRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	reg.Counter("engine.nodes.evaluated").Add(42)
+	reg.Counter("attack.cache.hit").Add(7)
+	reg.Gauge("ola.best_cost").Set(0.5)
+	reg.Gauge("risk.nan").Set(math.NaN())
+	reg.Gauge("risk.inf").Set(math.Inf(1))
+	h := reg.Histogram("engine.eval.ns", []float64{1e3, 1e6})
+	h.Observe(500)
+	h.Observe(2_000_000)
+	return reg
+}
+
+// TestWritePrometheusGolden pins the exact exposition bytes: counters then
+// gauges then histograms, names sanitized and sorted, cumulative buckets
+// with le labels, NaN/+Inf spelled out.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, buildRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE attack_cache_hit counter
+attack_cache_hit 7
+# TYPE engine_nodes_evaluated counter
+engine_nodes_evaluated 42
+# TYPE ola_best_cost gauge
+ola_best_cost 0.5
+# TYPE risk_inf gauge
+risk_inf +Inf
+# TYPE risk_nan gauge
+risk_nan NaN
+# TYPE engine_eval_ns histogram
+engine_eval_ns_bucket{le="1000"} 1
+engine_eval_ns_bucket{le="1000000"} 1
+engine_eval_ns_bucket{le="+Inf"} 2
+engine_eval_ns_sum 2.0005e+06
+engine_eval_ns_count 2
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusByteStable: two identical registries expose to
+// identical bytes (the promise /metrics scrapers and golden tests rely on).
+func TestWritePrometheusByteStable(t *testing.T) {
+	var a, b strings.Builder
+	if err := WritePrometheus(&a, buildRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, buildRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("expositions differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestExpositionValidates: everything WritePrometheus emits passes Validate
+// with the expected sample count.
+func TestExpositionValidates(t *testing.T) {
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, buildRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Validate(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("Validate rejected our own output: %v", err)
+	}
+	// 2 counters + 3 gauges + (3 buckets + sum + count) = 10 samples.
+	if samples != 10 {
+		t.Errorf("samples = %d, want 10", samples)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"metric value_is_not_a_number",
+		"# a stray comment",
+		"-leading_dash 1",
+		`metric{unclosed="1} 2`,
+	}
+	for _, line := range bad {
+		if _, err := Validate(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("Validate accepted malformed line %q", line)
+		}
+	}
+	good := "m_with_ts 1 1700000000000\nm_nan NaN\nm{a=\"x y\"} 2\n"
+	samples, err := Validate(strings.NewReader(good))
+	if err != nil || samples != 3 {
+		t.Errorf("Validate(good) = %d, %v; want 3, nil", samples, err)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"engine.cache.hit":   "engine_cache_hit",
+		"already_fine:name":  "already_fine:name",
+		"9starts.with.digit": "_9starts_with_digit",
+		"dash-and space":     "dash_and_space",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestDelta: counters and histogram counts/sums subtract, gauges keep the
+// current level, instruments absent from prev pass through whole.
+func TestDelta(t *testing.T) {
+	prevReg := telemetry.NewRegistry()
+	prevReg.Counter("c").Add(10)
+	prevReg.Gauge("g").Set(1)
+	prevReg.Histogram("h", []float64{10}).Observe(5)
+	prev := prevReg.Snapshot()
+
+	curReg := telemetry.NewRegistry()
+	curReg.Counter("c").Add(25)
+	curReg.Counter("new").Add(3)
+	curReg.Gauge("g").Set(7)
+	ch := curReg.Histogram("h", []float64{10})
+	ch.Observe(5)
+	ch.Observe(5)
+	ch.Observe(50)
+	cur := curReg.Snapshot()
+
+	d := Delta(prev, cur)
+	if d.Counters["c"] != 15 {
+		t.Errorf("counter delta = %d, want 15", d.Counters["c"])
+	}
+	if d.Counters["new"] != 3 {
+		t.Errorf("new counter delta = %d, want 3 (pass-through)", d.Counters["new"])
+	}
+	if d.Gauges["g"] != 7 {
+		t.Errorf("gauge delta = %v, want current level 7", d.Gauges["g"])
+	}
+	h := d.Histograms["h"]
+	if h.Count != 2 || h.Sum != 55 {
+		t.Errorf("histogram delta count=%d sum=%v, want 2 and 55", h.Count, h.Sum)
+	}
+	// Cumulative buckets subtract per bound: <=10 went 1→2, +Inf went 1→3.
+	if h.Buckets[0].Count != 1 || h.Buckets[1].Count != 2 {
+		t.Errorf("bucket deltas = %d,%d, want 1,2", h.Buckets[0].Count, h.Buckets[1].Count)
+	}
+	// First scrape: an empty prev yields the full current snapshot.
+	full := Delta(telemetry.Snapshot{}, cur)
+	if full.Counters["c"] != 25 || full.Histograms["h"].Count != 3 {
+		t.Errorf("delta from empty prev should equal cur, got %+v", full)
+	}
+}

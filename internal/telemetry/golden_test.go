@@ -78,11 +78,14 @@ func TestChromeTraceGolden(t *testing.T) {
 
 // TestMetricsSnapshotGolden pins the exact snapshot JSON: sorted keys,
 // cumulative Prometheus-style buckets, "+Inf" as the last bound.
+// Instruments are registered in shuffled order on purpose — matching the
+// golden bytes proves Registry.Do's sorted-order guarantee, which /metrics
+// exposition and WriteJSON byte-stability are built on.
 func TestMetricsSnapshotGolden(t *testing.T) {
 	reg := NewRegistry()
-	reg.Counter("engine.cache.hit").Add(3)
-	reg.Counter("engine.cache.miss").Add(1)
 	reg.Gauge("ola.nodes_tagged").Set(12)
+	reg.Counter("engine.cache.miss").Add(1)
+	reg.Counter("engine.cache.hit").Add(3)
 	h := reg.Histogram("engine.eval.ns", []float64{1e3, 1e6})
 	h.Observe(500)
 	h.Observe(250_000)

@@ -124,15 +124,31 @@ func (c *Counter) Inc() { c.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
+// canonicalNaNBits is the bit pattern every NaN is normalized to before
+// being stored in a Gauge or a Histogram sum (the quiet NaN with an empty
+// payload). float64 has 2^52 distinct NaN encodings and arithmetic may
+// propagate any of them; pinning one makes Snapshot round-trips and the
+// exposition output deterministic regardless of which NaN arrived.
+const canonicalNaNBits = 0x7FF8000000000000
+
+// float64bits is math.Float64bits with NaN canonicalized.
+func float64bits(v float64) uint64 {
+	if v != v {
+		return canonicalNaNBits
+	}
+	return math.Float64bits(v)
+}
+
 // Gauge is a last-write-wins float metric.
 type Gauge struct {
 	bits   atomic.Uint64
 	parent *Gauge
 }
 
-// Set stores v (and forwards it to the parent gauge, if any).
+// Set stores v (and forwards it to the parent gauge, if any). NaN values
+// are stored with a canonical bit pattern.
 func (g *Gauge) Set(v float64) {
-	g.bits.Store(math.Float64bits(v))
+	g.bits.Store(float64bits(v))
 	if g.parent != nil {
 		g.parent.Set(v)
 	}
@@ -173,7 +189,7 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
+		next := float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, next) {
 			break
 		}
@@ -188,6 +204,44 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Instrument is one registered metric, as visited by Registry.Do: exactly
+// one of Counter, Gauge and Histogram is non-nil.
+type Instrument struct {
+	// Name is the registered metric name.
+	Name      string
+	Counter   *Counter
+	Gauge     *Gauge
+	Histogram *Histogram
+}
+
+// Do visits every registered instrument in sorted name order — counters
+// first, then gauges, then histograms, each group sorted by name. The
+// order is guaranteed: /metrics exposition and WriteJSON output built on
+// Do are byte-stable across runs for a given set of values. The registry
+// lock is held during the walk; f must not register new instruments.
+func (r *Registry) Do(f func(Instrument)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range sortedKeys(r.counters) {
+		f(Instrument{Name: name, Counter: r.counters[name]})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		f(Instrument{Name: name, Gauge: r.gauges[name]})
+	}
+	for _, name := range sortedKeys(r.hists) {
+		f(Instrument{Name: name, Histogram: r.hists[name]})
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Snapshot is a point-in-time, JSON-ready view of a registry. Map keys are
 // emitted in sorted order by encoding/json, so serialization is
@@ -227,39 +281,45 @@ func (b BucketCount) MarshalJSON() ([]byte, error) {
 	}{le, b.Count})
 }
 
-// Snapshot freezes the registry's current values.
+// Snapshot returns the histogram's frozen state: exact count and sum, and
+// cumulative Prometheus-style bucket counts with the +Inf bucket last.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: bound, Count: cum})
+	}
+	return hs
+}
+
+// Snapshot freezes the registry's current values, visiting instruments in
+// Do's sorted order.
 func (r *Registry) Snapshot() Snapshot {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	s := Snapshot{}
-	if len(r.counters) > 0 {
-		s.Counters = make(map[string]int64, len(r.counters))
-		for name, c := range r.counters {
-			s.Counters[name] = c.Value()
-		}
-	}
-	if len(r.gauges) > 0 {
-		s.Gauges = make(map[string]float64, len(r.gauges))
-		for name, g := range r.gauges {
-			s.Gauges[name] = g.Value()
-		}
-	}
-	if len(r.hists) > 0 {
-		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
-		for name, h := range r.hists {
-			hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
-			cum := int64(0)
-			for i := range h.buckets {
-				cum += h.buckets[i].Load()
-				bound := math.Inf(1)
-				if i < len(h.bounds) {
-					bound = h.bounds[i]
-				}
-				hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: bound, Count: cum})
+	r.Do(func(in Instrument) {
+		switch {
+		case in.Counter != nil:
+			if s.Counters == nil {
+				s.Counters = make(map[string]int64)
 			}
-			s.Histograms[name] = hs
+			s.Counters[in.Name] = in.Counter.Value()
+		case in.Gauge != nil:
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]float64)
+			}
+			s.Gauges[in.Name] = in.Gauge.Value()
+		case in.Histogram != nil:
+			if s.Histograms == nil {
+				s.Histograms = make(map[string]HistogramSnapshot)
+			}
+			s.Histograms[in.Name] = in.Histogram.Snapshot()
 		}
-	}
+	})
 	return s
 }
 

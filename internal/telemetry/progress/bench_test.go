@@ -1,0 +1,55 @@
+package progress
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkStartDisabled measures an instrumentation site with no root
+// installed — the budget is the telemetry.Start bar from the spans layer
+// (~1–2 ns, one atomic load), so the hot loops' progress hooks are free in
+// production runs.
+func BenchmarkStartDisabled(b *testing.B) {
+	Disable()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, tr := Start(ctx, "bench", 100)
+		tr.Finish()
+	}
+}
+
+// BenchmarkNilAdd measures the per-unit cost on the disabled path: the
+// tr.Add(1) the engine executes per lattice node when no one is watching.
+func BenchmarkNilAdd(b *testing.B) {
+	var tr *Tracker
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(1)
+	}
+}
+
+// BenchmarkAddEnabled is the per-unit cost with a live tracker (one atomic
+// add).
+func BenchmarkAddEnabled(b *testing.B) {
+	Enable("bench")
+	defer Disable()
+	_, tr := Start(context.Background(), "work", b.N)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Add(1)
+	}
+}
+
+// BenchmarkStartFinishEnabled is the full child-tracker lifecycle under a
+// live root — what EvaluateAll pays per batch when -progress is on.
+func BenchmarkStartFinishEnabled(b *testing.B) {
+	Enable("bench")
+	defer Disable()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, tr := Start(ctx, "batch", 10)
+		tr.Finish()
+	}
+}

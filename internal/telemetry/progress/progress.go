@@ -1,0 +1,310 @@
+// Package progress provides hierarchical progress tracking for the long
+// sweeps this repo routinely runs: full-lattice evaluations, N=10k attack
+// simulations, 19-experiment batches. A Tracker counts done/total work
+// units, derives a throughput rate and an exponentially smoothed ETA, and
+// links into a tree through the context — the experiment runner's
+// per-experiment tracker parents the engine's per-batch tracker, which the
+// terminal renderer and the debug server's /progress endpoint walk.
+//
+// Like the rest of internal/telemetry, progress tracking is DISABLED by
+// default: with no root installed, Start returns a nil *Tracker after one
+// atomic load, and every method is a no-op on a nil receiver, so the hot
+// loops (engine.EvaluateAll, the attack shard workers) carry their
+// tr.Add(1) sites at no measurable cost (see the package benchmarks).
+//
+// Finished trackers detach from their parent, folding their counts into
+// the parent's finished-children aggregate — a search that calls
+// EvaluateAll thousands of times does not grow the tree.
+package progress
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// timeNow is the package clock; tests substitute a deterministic one.
+var timeNow = time.Now
+
+// etaAlpha is the smoothing factor of the exponential moving average over
+// instantaneous throughput samples: high enough to follow phase changes
+// within a few render frames, low enough that the ETA does not jitter.
+const etaAlpha = 0.3
+
+// Tracker counts progress of one operation. Total < 0 means unknown (the
+// tracker still reports a rate, but no ETA). All methods are safe on a nil
+// receiver and safe for concurrent use.
+type Tracker struct {
+	name  string
+	total atomic.Int64 // -1 when unknown
+	done  atomic.Int64
+	start time.Time
+
+	mu       sync.Mutex
+	parent   *Tracker
+	children []*Tracker
+	finished bool
+	end      time.Time
+	// finishedChildren / finishedChildrenDone aggregate detached children
+	// so the tree stays bounded over long sweeps.
+	finishedChildren     int64
+	finishedChildrenDone int64
+	// rate smoothing state, updated by snapshots.
+	lastSample time.Time
+	lastDone   int64
+	ewmaRate   float64 // units/s, 0 until the second sample
+}
+
+// root is the installed root tracker; nil means progress tracking is
+// disabled and Start hands out nil trackers.
+var root atomic.Pointer[Tracker]
+
+// Enable installs (and returns) a fresh root tracker with the given name.
+// Subsequent Start calls without a context-carried parent attach to it.
+func Enable(name string) *Tracker {
+	t := newTracker(name, -1, nil)
+	root.Store(t)
+	return t
+}
+
+// Disable removes the root tracker; Start reverts to handing out nil.
+func Disable() { root.Store(nil) }
+
+// Active returns the installed root tracker, or nil when disabled.
+func Active() *Tracker { return root.Load() }
+
+// Enabled reports whether a root tracker is installed — one atomic load,
+// cheap enough to guard any hot-path bookkeeping.
+func Enabled() bool { return root.Load() != nil }
+
+func newTracker(name string, total int64, parent *Tracker) *Tracker {
+	t := &Tracker{name: name, start: timeNow(), parent: parent}
+	t.total.Store(total)
+	return t
+}
+
+type ctxKey struct{}
+
+// Start opens a child tracker under the tracker carried by ctx (or under
+// the installed root when ctx carries none) and returns a context carrying
+// it for nested Starts. total < 0 means unknown. When progress tracking is
+// disabled it returns the context unchanged and a nil tracker after a
+// single atomic load — the no-op fast path the hot loops rely on.
+func Start(ctx context.Context, name string, total int) (context.Context, *Tracker) {
+	r := root.Load()
+	if r == nil {
+		return ctx, nil
+	}
+	parent := r
+	if p, ok := ctx.Value(ctxKey{}).(*Tracker); ok && p != nil {
+		parent = p
+	}
+	t := newTracker(name, int64(total), parent)
+	parent.mu.Lock()
+	parent.children = append(parent.children, t)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, t), t
+}
+
+// FromContext returns the tracker carried by ctx, or nil.
+func FromContext(ctx context.Context) *Tracker {
+	t, _ := ctx.Value(ctxKey{}).(*Tracker)
+	return t
+}
+
+// Name returns the tracker's name ("" on nil).
+func (t *Tracker) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Add records d completed work units.
+func (t *Tracker) Add(d int) {
+	if t == nil {
+		return
+	}
+	t.done.Add(int64(d))
+}
+
+// Done returns the completed work units.
+func (t *Tracker) Done() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.done.Load()
+}
+
+// Total returns the expected work units, -1 when unknown.
+func (t *Tracker) Total() int64 {
+	if t == nil {
+		return -1
+	}
+	return t.total.Load()
+}
+
+// SetTotal replaces the expected total (use when the workload size becomes
+// known mid-run); n < 0 marks it unknown.
+func (t *Tracker) SetTotal(n int) {
+	if t == nil {
+		return
+	}
+	t.total.Store(int64(n))
+}
+
+// AddTotal grows the expected total by d — multi-stage operations announce
+// each stage as its size becomes known. On an unknown total the tracker
+// starts counting from zero.
+func (t *Tracker) AddTotal(d int) {
+	if t == nil {
+		return
+	}
+	for {
+		old := t.total.Load()
+		next := old + int64(d)
+		if old < 0 {
+			next = int64(d)
+		}
+		if t.total.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Finish marks the tracker complete and detaches it from its parent,
+// folding its counts into the parent's finished-children aggregate so long
+// sweeps do not grow the tree. Safe to call more than once.
+func (t *Tracker) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.finished {
+		t.mu.Unlock()
+		return
+	}
+	t.finished = true
+	t.end = timeNow()
+	parent := t.parent
+	t.mu.Unlock()
+	if parent == nil {
+		return
+	}
+	parent.mu.Lock()
+	for i, c := range parent.children {
+		if c == t {
+			parent.children = append(parent.children[:i], parent.children[i+1:]...)
+			break
+		}
+	}
+	parent.finishedChildren++
+	parent.finishedChildrenDone += t.done.Load()
+	parent.mu.Unlock()
+}
+
+// Node is one tracker's point-in-time state, with its live children — the
+// JSON document /progress serves and the renderer walks.
+type Node struct {
+	// Name identifies the operation.
+	Name string `json:"name"`
+	// Done and Total count work units; Total is -1 when unknown.
+	Done  int64 `json:"done"`
+	Total int64 `json:"total"`
+	// ElapsedSeconds is wall time since the tracker started (to its finish
+	// time once finished).
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// RateHz is the smoothed throughput in work units per second.
+	RateHz float64 `json:"rate_hz"`
+	// ETASeconds estimates the remaining time; -1 when unknown (no total,
+	// or no throughput observed yet).
+	ETASeconds float64 `json:"eta_seconds"`
+	// Finished reports whether Finish was called.
+	Finished bool `json:"finished"`
+	// FinishedChildren counts children that completed and detached;
+	// FinishedChildrenDone sums their completed work units.
+	FinishedChildren     int64 `json:"finished_children,omitempty"`
+	FinishedChildrenDone int64 `json:"finished_children_done,omitempty"`
+	// Children are the live (unfinished) child trackers.
+	Children []*Node `json:"children,omitempty"`
+}
+
+// Fraction returns completion in [0,1], or -1 when the total is unknown.
+func (n *Node) Fraction() float64 {
+	if n.Total < 0 {
+		return -1
+	}
+	if n.Total == 0 {
+		return 1
+	}
+	f := float64(n.Done) / float64(n.Total)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Snapshot freezes the tracker subtree. Each call feeds the tracker's
+// rate-smoothing state, so periodic snapshots (the renderer's frames, the
+// debug server's scrapes) sharpen the ETA; a nil tracker returns nil.
+func (t *Tracker) Snapshot() *Node {
+	if t == nil {
+		return nil
+	}
+	now := timeNow()
+	done := t.done.Load()
+
+	t.mu.Lock()
+	end := now
+	if t.finished {
+		end = t.end
+	}
+	elapsed := end.Sub(t.start)
+	// Smooth the instantaneous rate over snapshot intervals; guard against
+	// sub-millisecond intervals, which produce noise, not signal.
+	if !t.finished {
+		if t.lastSample.IsZero() {
+			t.lastSample, t.lastDone = now, done
+		} else if dt := now.Sub(t.lastSample); dt >= time.Millisecond {
+			inst := float64(done-t.lastDone) / dt.Seconds()
+			if t.ewmaRate == 0 {
+				t.ewmaRate = inst
+			} else {
+				t.ewmaRate = etaAlpha*inst + (1-etaAlpha)*t.ewmaRate
+			}
+			t.lastSample, t.lastDone = now, done
+		}
+	}
+	n := &Node{
+		Name:                 t.name,
+		Done:                 done,
+		Total:                t.total.Load(),
+		ElapsedSeconds:       elapsed.Seconds(),
+		RateHz:               t.ewmaRate,
+		ETASeconds:           -1,
+		Finished:             t.finished,
+		FinishedChildren:     t.finishedChildren,
+		FinishedChildrenDone: t.finishedChildrenDone,
+	}
+	children := append([]*Tracker(nil), t.children...)
+	t.mu.Unlock()
+
+	// Fall back to the overall rate until smoothing has two samples.
+	rate := n.RateHz
+	if rate == 0 && elapsed > 0 {
+		rate = float64(done) / elapsed.Seconds()
+		n.RateHz = rate
+	}
+	if total := n.Total; total >= 0 && !n.Finished && rate > 0 {
+		remaining := total - done
+		if remaining < 0 {
+			remaining = 0
+		}
+		n.ETASeconds = float64(remaining) / rate
+	}
+	for _, c := range children {
+		n.Children = append(n.Children, c.Snapshot())
+	}
+	return n
+}

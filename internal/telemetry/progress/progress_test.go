@@ -1,0 +1,224 @@
+package progress
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances deterministically so rate and ETA math is exact.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func withFakeClock(t *testing.T) *fakeClock {
+	t.Helper()
+	c := &fakeClock{now: time.Unix(1000, 0)}
+	prev := timeNow
+	timeNow = c.Now
+	t.Cleanup(func() { timeNow = prev; Disable() })
+	return c
+}
+
+func TestDisabledStartReturnsNil(t *testing.T) {
+	Disable()
+	ctx, tr := Start(context.Background(), "work", 100)
+	if tr != nil {
+		t.Fatalf("Start with no root = %v, want nil", tr)
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("disabled Start should not thread a tracker through the context")
+	}
+	// Every method must be a no-op on nil.
+	tr.Add(1)
+	tr.SetTotal(5)
+	tr.AddTotal(5)
+	tr.Finish()
+	if tr.Done() != 0 || tr.Total() != -1 || tr.Name() != "" || tr.Snapshot() != nil {
+		t.Fatal("nil tracker accessors should return zero values")
+	}
+}
+
+func TestTreeParenting(t *testing.T) {
+	withFakeClock(t)
+	root := Enable("root")
+	ctx, a := Start(context.Background(), "a", 10)
+	_, b := Start(ctx, "b", 4) // parents to a via ctx
+	_, c := Start(context.Background(), "c", -1)
+
+	a.Add(3)
+	b.Add(4)
+	c.Add(7)
+
+	snap := root.Snapshot()
+	if len(snap.Children) != 2 {
+		t.Fatalf("root has %d children, want 2 (a, c)", len(snap.Children))
+	}
+	na := snap.Children[0]
+	if na.Name != "a" || na.Done != 3 || na.Total != 10 {
+		t.Fatalf("child a = %+v", na)
+	}
+	if len(na.Children) != 1 || na.Children[0].Name != "b" || na.Children[0].Done != 4 {
+		t.Fatalf("a's children = %+v", na.Children)
+	}
+	if snap.Children[1].Name != "c" || snap.Children[1].Total != -1 {
+		t.Fatalf("child c = %+v", snap.Children[1])
+	}
+}
+
+func TestFinishDetachesAndAggregates(t *testing.T) {
+	withFakeClock(t)
+	root := Enable("root")
+	for i := 0; i < 1000; i++ {
+		_, tr := Start(context.Background(), "batch", 5)
+		tr.Add(5)
+		tr.Finish()
+		tr.Finish() // idempotent
+	}
+	snap := root.Snapshot()
+	if len(snap.Children) != 0 {
+		t.Fatalf("finished children should detach; tree still holds %d", len(snap.Children))
+	}
+	if snap.FinishedChildren != 1000 || snap.FinishedChildrenDone != 5000 {
+		t.Fatalf("aggregate = %d children / %d done, want 1000 / 5000",
+			snap.FinishedChildren, snap.FinishedChildrenDone)
+	}
+}
+
+func TestRateAndETA(t *testing.T) {
+	clock := withFakeClock(t)
+	Enable("root")
+	_, tr := Start(context.Background(), "work", 100)
+
+	// First snapshot primes the sampler.
+	tr.Snapshot()
+	// 10 units/second over two seconds.
+	clock.Advance(time.Second)
+	tr.Add(10)
+	tr.Snapshot()
+	clock.Advance(time.Second)
+	tr.Add(10)
+	n := tr.Snapshot()
+
+	if n.RateHz < 9 || n.RateHz > 11 {
+		t.Fatalf("smoothed rate = %v, want ~10/s", n.RateHz)
+	}
+	// 80 remaining at ~10/s.
+	if n.ETASeconds < 7 || n.ETASeconds > 9 {
+		t.Fatalf("ETA = %vs, want ~8s", n.ETASeconds)
+	}
+	if got := n.Fraction(); got != 0.2 {
+		t.Fatalf("fraction = %v, want 0.2", got)
+	}
+}
+
+func TestUnknownTotalHasNoETA(t *testing.T) {
+	clock := withFakeClock(t)
+	Enable("root")
+	_, tr := Start(context.Background(), "work", -1)
+	tr.Snapshot()
+	clock.Advance(time.Second)
+	tr.Add(5)
+	n := tr.Snapshot()
+	if n.ETASeconds != -1 {
+		t.Fatalf("unknown-total ETA = %v, want -1", n.ETASeconds)
+	}
+	if n.Fraction() != -1 {
+		t.Fatalf("unknown-total fraction = %v, want -1", n.Fraction())
+	}
+	if n.RateHz <= 0 {
+		t.Fatalf("rate should still be reported, got %v", n.RateHz)
+	}
+}
+
+func TestAddTotalStages(t *testing.T) {
+	withFakeClock(t)
+	Enable("root")
+	_, tr := Start(context.Background(), "stages", 10)
+	tr.AddTotal(7)
+	if got := tr.Total(); got != 17 {
+		t.Fatalf("total after AddTotal = %d, want 17", got)
+	}
+	_, unk := Start(context.Background(), "unknown", -1)
+	unk.AddTotal(3)
+	if got := unk.Total(); got != 3 {
+		t.Fatalf("unknown total after AddTotal = %d, want 3", got)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	withFakeClock(t)
+	Enable("root")
+	ctx, tr := Start(context.Background(), "work", 10000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Add(1)
+			}
+			_, child := Start(ctx, "child", 10)
+			child.Add(10)
+			child.Finish()
+		}()
+	}
+	// Snapshot concurrently with the adders.
+	for i := 0; i < 50; i++ {
+		tr.Snapshot()
+	}
+	wg.Wait()
+	if got := tr.Done(); got != 8000 {
+		t.Fatalf("done = %d, want 8000", got)
+	}
+	snap := tr.Snapshot()
+	if snap.FinishedChildren != 8 {
+		t.Fatalf("finished children = %d, want 8", snap.FinishedChildren)
+	}
+}
+
+func TestRendererFrames(t *testing.T) {
+	withFakeClock(t)
+	root := Enable("root")
+	_, tr := Start(context.Background(), "sweep", 50)
+	tr.Add(25)
+
+	var buf strings.Builder
+	r := NewRenderer(&buf, root, time.Hour) // frames driven manually
+	r.Frame()
+	first := buf.String()
+	if !strings.Contains(first, "sweep") || !strings.Contains(first, "25/50") {
+		t.Fatalf("frame missing tracker line:\n%s", first)
+	}
+	if strings.Contains(first, "\x1b[") {
+		t.Fatalf("first frame should not erase anything:\n%q", first)
+	}
+	r.Frame()
+	second := strings.TrimPrefix(buf.String(), first)
+	if !strings.HasPrefix(second, "\x1b[") {
+		t.Fatalf("second frame should start with an ANSI erase sequence:\n%q", second)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+}
+
+func TestRendererNilRoot(t *testing.T) {
+	r := NewRenderer(&strings.Builder{}, nil, 0)
+	r.Frame()
+	r.Stop()
+}

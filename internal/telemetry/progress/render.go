@@ -1,0 +1,162 @@
+package progress
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultInterval is the renderer's frame interval: fast enough to feel
+// live, slow enough that a full-lattice sweep spends nothing measurable on
+// redrawing.
+const DefaultInterval = 200 * time.Millisecond
+
+// Renderer redraws a tracker tree in place on an ANSI terminal: one line
+// per live tracker with a bar, done/total, smoothed rate and ETA. Frames
+// are throttled to the configured interval. Construct with NewRenderer and
+// stop with Stop; the final frame is left on screen followed by a newline.
+type Renderer struct {
+	w        io.Writer
+	root     *Tracker
+	interval time.Duration
+
+	mu        sync.Mutex
+	lastLines int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRenderer starts a renderer goroutine drawing root's tree to w every
+// interval (DefaultInterval when <= 0). A nil root yields a renderer whose
+// Stop is a no-op, so call sites need no conditionals.
+func NewRenderer(w io.Writer, root *Tracker, interval time.Duration) *Renderer {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	r := &Renderer{
+		w: w, root: root, interval: interval,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	if root == nil {
+		close(r.done)
+		return r
+	}
+	go r.loop()
+	return r
+}
+
+func (r *Renderer) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.Frame()
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// Stop halts the render loop, draws one final frame and moves the cursor
+// past it. Safe to call more than once.
+func (r *Renderer) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.stop)
+		<-r.done
+		if r.root != nil {
+			r.Frame()
+			r.mu.Lock()
+			r.lastLines = 0
+			r.mu.Unlock()
+		}
+	})
+}
+
+// Frame draws one frame now: the previous frame's lines are erased with an
+// ANSI cursor-up + clear-to-end sequence, then the current tree is drawn.
+func (r *Renderer) Frame() {
+	if r.root == nil {
+		return
+	}
+	snap := r.root.Snapshot()
+	var sb strings.Builder
+	writeNode(&sb, snap, 0)
+	lines := strings.Count(sb.String(), "\n")
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lastLines > 0 {
+		// Cursor to the start of the previous frame, clear to screen end.
+		fmt.Fprintf(r.w, "\x1b[%dF\x1b[J", r.lastLines)
+	}
+	io.WriteString(r.w, sb.String())
+	r.lastLines = lines
+}
+
+const barWidth = 24
+
+// writeNode renders one tracker line and recurses over the live children.
+func writeNode(sb *strings.Builder, n *Node, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	frac := n.Fraction()
+	switch {
+	case n.Finished:
+		fmt.Fprintf(sb, "%-28s done (%d in %s)", n.Name, n.Done, fmtDuration(n.ElapsedSeconds))
+	case frac >= 0:
+		filled := int(frac * barWidth)
+		fmt.Fprintf(sb, "%-28s [%s%s] %3.0f%% %d/%d", n.Name,
+			strings.Repeat("=", filled), strings.Repeat(" ", barWidth-filled),
+			frac*100, n.Done, n.Total)
+		if n.RateHz > 0 {
+			fmt.Fprintf(sb, " %s/s", fmtRate(n.RateHz))
+		}
+		if n.ETASeconds >= 0 {
+			fmt.Fprintf(sb, " eta %s", fmtDuration(n.ETASeconds))
+		}
+	default:
+		fmt.Fprintf(sb, "%-28s %d done, %s elapsed", n.Name, n.Done, fmtDuration(n.ElapsedSeconds))
+	}
+	if n.FinishedChildren > 0 {
+		fmt.Fprintf(sb, " (+%d sub-tasks finished)", n.FinishedChildren)
+	}
+	sb.WriteByte('\n')
+	for _, c := range n.Children {
+		writeNode(sb, c, depth+1)
+	}
+}
+
+// fmtDuration renders seconds compactly: 4.2s, 1m03s, 2h07m.
+func fmtDuration(s float64) string {
+	if s < 0 {
+		return "?"
+	}
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	case d < time.Hour:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+}
+
+// fmtRate renders a throughput without false precision.
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	case r >= 10:
+		return fmt.Sprintf("%.0f", r)
+	default:
+		return fmt.Sprintf("%.2f", r)
+	}
+}
