@@ -91,6 +91,12 @@ type (
 	Role = dataset.Role
 	// AttrKind is an attribute's ground domain (categorical or numeric).
 	AttrKind = dataset.AttrKind
+	// Column is one dictionary-encoded column vector (codes + dictionary).
+	Column = dataset.Column
+	// Columnar is a column-oriented table under construction or backing a Table.
+	Columnar = dataset.Columnar
+	// CSVIngester parses CSV fed in arbitrary chunks straight into columns.
+	CSVIngester = dataset.CSVIngester
 )
 
 // Attribute roles and kinds.
@@ -115,6 +121,10 @@ var (
 	StarVal     = dataset.StarVal
 	ReadCSV     = dataset.ReadCSV
 	WriteCSV    = dataset.WriteCSV
+
+	NewColumnar     = dataset.NewColumnar
+	ReadCSVColumnar = dataset.ReadCSVColumnar
+	NewCSVIngester  = dataset.NewCSVIngester
 )
 
 // Hierarchies.

@@ -263,12 +263,13 @@ func ViolatingClasses(p *eqclass.Partition, t *dataset.Table, cfg Config) ([]boo
 	if si < 0 {
 		return nil, fmt.Errorf("algorithm: diversity constraints need a sensitive attribute")
 	}
-	sensitive := t.Column(si)
+	// One vectorized histogram pass over the dictionary-encoded sensitive
+	// column serves ℓ-diversity, entropy and recursive (c,ℓ) alike.
+	counts, err := p.ValueCountsColumn(t.ColumnVector(si))
+	if err != nil {
+		return nil, err
+	}
 	if cfg.MinLDiversity > 0 {
-		counts, err := p.ValueCounts(sensitive)
-		if err != nil {
-			return nil, err
-		}
 		for ci := range counts {
 			if len(counts[ci]) < cfg.MinLDiversity {
 				bad[ci] = true
@@ -276,7 +277,7 @@ func ViolatingClasses(p *eqclass.Partition, t *dataset.Table, cfg Config) ([]boo
 		}
 	}
 	if cfg.MaxTCloseness > 0 {
-		tvec, err := privacy.TClosenessVector(p, sensitive, false)
+		tvec, err := privacy.TClosenessVector(p, t.Column(si), false)
 		if err != nil {
 			return nil, err
 		}
@@ -287,10 +288,6 @@ func ViolatingClasses(p *eqclass.Partition, t *dataset.Table, cfg Config) ([]boo
 		}
 	}
 	if cfg.MinEntropyL > 0 {
-		counts, err := p.ValueCounts(sensitive)
-		if err != nil {
-			return nil, err
-		}
 		for ci := range counts {
 			if classEntropyL(counts[ci]) < cfg.MinEntropyL-1e-12 {
 				bad[ci] = true
@@ -298,10 +295,6 @@ func ViolatingClasses(p *eqclass.Partition, t *dataset.Table, cfg Config) ([]boo
 		}
 	}
 	if cfg.RecursiveC > 0 && cfg.RecursiveL > 0 {
-		counts, err := p.ValueCounts(sensitive)
-		if err != nil {
-			return nil, err
-		}
 		for ci := range counts {
 			if !classRecursiveCL(counts[ci], cfg.RecursiveC, cfg.RecursiveL) {
 				bad[ci] = true

@@ -183,6 +183,7 @@ func (m *Mondrian) AnonymizeContext(ctx context.Context, t *dataset.Table, cfg a
 			}
 		}
 	}
+	anon.InvalidateColumns()
 	p, err := eqclass.FromGroups(t.Len(), regions)
 	if err != nil {
 		return nil, fmt.Errorf("mondrian: %w", err)

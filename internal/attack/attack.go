@@ -239,46 +239,43 @@ func victimOf(orig *dataset.Table, qi []int, i int) []dataset.Value {
 	return v
 }
 
-// victimGroups groups the table's rows by ground QI signature: groupOf[i]
+// victimGroups groups the table's rows by ground QI tuple: groupOf[i]
 // indexes the distinct victim tuple of row i in victims. Resolving each
 // distinct tuple once keeps the parallel fan-out deterministic and feeds
-// the signature memo.
-func victimGroups(t *dataset.Table, qi []int) (groupOf []int, victims [][]dataset.Value) {
-	groupOf = make([]int, t.Len())
-	index := make(map[string]int)
-	var sb strings.Builder
-	for i, row := range t.Rows {
-		sb.Reset()
-		eqclass.WriteSignature(&sb, row, qi)
-		gi, ok := index[sb.String()]
-		if !ok {
-			gi = len(victims)
-			index[sb.String()] = gi
-			victims = append(victims, victimOf(t, qi, i))
-		}
-		groupOf[i] = gi
+// the signature memo. Grouping runs vectorized over the table's
+// dictionary-code columns, so no per-row signature strings are built.
+func victimGroups(t *dataset.Table, qi []int) (groupOf []int, victims [][]dataset.Value, err error) {
+	if t.Len() == 0 {
+		return []int{}, nil, nil
 	}
-	return groupOf, victims
+	p, err := eqclass.FromColumns(t, qi)
+	if err != nil {
+		return nil, nil, err
+	}
+	victims = make([][]dataset.Value, len(p.Classes))
+	for g, rows := range p.Classes {
+		victims[g] = victimOf(t, qi, rows[0])
+	}
+	return p.ClassOf, victims, nil
 }
 
 // victimGroupsCounted is victimGroups keeping only multiplicities, for
 // population tables whose rows never need individual resolution.
-func victimGroupsCounted(t *dataset.Table, qi []int) (victims [][]dataset.Value, counts []int) {
-	index := make(map[string]int)
-	var sb strings.Builder
-	for i, row := range t.Rows {
-		sb.Reset()
-		eqclass.WriteSignature(&sb, row, qi)
-		gi, ok := index[sb.String()]
-		if !ok {
-			gi = len(victims)
-			index[sb.String()] = gi
-			victims = append(victims, victimOf(t, qi, i))
-			counts = append(counts, 0)
-		}
-		counts[gi]++
+func victimGroupsCounted(t *dataset.Table, qi []int) (victims [][]dataset.Value, counts []int, err error) {
+	if t.Len() == 0 {
+		return nil, nil, nil
 	}
-	return victims, counts
+	p, err := eqclass.FromColumns(t, qi)
+	if err != nil {
+		return nil, nil, err
+	}
+	victims = make([][]dataset.Value, len(p.Classes))
+	counts = make([]int, len(p.Classes))
+	for g, rows := range p.Classes {
+		victims[g] = victimOf(t, qi, rows[0])
+		counts[g] = len(rows)
+	}
+	return victims, counts, nil
 }
 
 // forEachParallel runs f over 0..n-1 sharded across the adversary's
@@ -355,12 +352,15 @@ func ProsecutorVectorContext(ctx context.Context, orig *dataset.Table, adv *Adve
 		telemetry.Int("rows", orig.Len()))
 	defer span.End()
 
-	groupOf, victims := victimGroups(orig, adv.qi)
+	groupOf, victims, err := victimGroups(orig, adv.qi)
+	if err != nil {
+		return nil, err
+	}
 	span.SetAttr(telemetry.Int("victim_groups", len(victims)))
 	ctx, tr := progress.Start(ctx, "attack.prosecutor", len(victims))
 	defer tr.Finish()
 	matches := make([]*regionMatch, len(victims))
-	err := adv.forEachParallel(ctx, len(victims), func(g int) error {
+	err = adv.forEachParallel(ctx, len(victims), func(g int) error {
 		m, merr := adv.matchRegions(ctx, victims[g])
 		if merr != nil {
 			return merr
@@ -474,7 +474,10 @@ func JournalistVectorContext(ctx context.Context, sample, population *dataset.Ta
 
 	// The journalist sweep has three shard stages whose sizes become known
 	// one at a time; the tracker's total grows with each stage.
-	groupOf, victims := victimGroups(sample, qi)
+	groupOf, victims, err := victimGroups(sample, qi)
+	if err != nil {
+		return nil, err
+	}
 	ctx, tr := progress.Start(ctx, "attack.journalist", len(victims))
 	defer tr.Finish()
 	matches := make([]*regionMatch, len(victims))
@@ -490,7 +493,10 @@ func JournalistVectorContext(ctx context.Context, sample, population *dataset.Ta
 		return nil, err
 	}
 
-	popVictims, popCounts := victimGroupsCounted(population, qi)
+	popVictims, popCounts, err := victimGroupsCounted(population, qi)
+	if err != nil {
+		return nil, err
+	}
 	tr.AddTotal(len(popVictims))
 	popRegs := make([]*regionMatch, len(popVictims))
 	if err := adv.forEachParallel(ctx, len(popVictims), func(g int) error {

@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoTable(t *testing.T) *Table {
+	t.Helper()
+	tab, err := ReadCSV(strings.NewReader(demoCSV), demoSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestColumnDictionary(t *testing.T) {
+	c := NewColumn()
+	codes := []uint32{
+		c.Append(StrVal("a")),
+		c.Append(StrVal("b")),
+		c.Append(StrVal("a")),
+		c.Append(StarVal()),
+		c.Append(StrVal("b")),
+	}
+	want := []uint32{0, 1, 0, 2, 1}
+	for i, cd := range codes {
+		if cd != want[i] {
+			t.Errorf("code %d = %d, want %d", i, cd, want[i])
+		}
+	}
+	if c.Len() != 5 || c.Card() != 3 {
+		t.Fatalf("Len=%d Card=%d", c.Len(), c.Card())
+	}
+	// Dictionary order is first appearance; values round-trip by Key.
+	for i := range codes {
+		if got := c.Value(i).Key(); got != c.DictKeys()[c.Code(i)] {
+			t.Errorf("row %d: Value key %q != dict key", i, got)
+		}
+	}
+	if c.IsNumeric() {
+		t.Error("mixed column claims numeric")
+	}
+}
+
+func TestColumnNumericDict(t *testing.T) {
+	c := NewColumn()
+	c.Append(NumVal(28))
+	c.Append(NumVal(41))
+	c.Append(NumVal(28))
+	if !c.IsNumeric() {
+		t.Fatal("all-Num column should be numeric")
+	}
+	nums := c.NumericDict()
+	if len(nums) != 2 || nums[0] != 28 || nums[1] != 41 {
+		t.Fatalf("NumericDict = %v", nums)
+	}
+	floats, ok := c.Floats()
+	if !ok {
+		t.Fatal("Floats should succeed on a numeric column")
+	}
+	for i, want := range []float64{28, 41, 28} {
+		if floats[i] != want {
+			t.Errorf("Floats[%d] = %v, want %v", i, floats[i], want)
+		}
+	}
+	c.Append(StarVal())
+	if c.IsNumeric() {
+		t.Error("column with a star should not be numeric")
+	}
+}
+
+func TestColumnValuesView(t *testing.T) {
+	c := NewColumn()
+	c.Append(StrVal("x"))
+	v1 := c.Values()
+	if len(v1) != 1 {
+		t.Fatalf("view length %d", len(v1))
+	}
+	c.Append(StrVal("y"))
+	v2 := c.Values()
+	if len(v2) != 2 || v2[1].Text() != "y" {
+		t.Fatalf("view after append: %v", v2)
+	}
+}
+
+func TestTableColumnarBacking(t *testing.T) {
+	tab := demoTable(t)
+	bc := tab.Columnar()
+	if bc == nil || bc.Len() != tab.Len() {
+		t.Fatal("missing columnar backing")
+	}
+	if tab.Columnar() != bc {
+		t.Error("backing not cached")
+	}
+	// Cell-level agreement between the row view and the columns.
+	for i := range tab.Rows {
+		for j := range tab.Rows[i] {
+			if got, want := bc.At(i, j).Key(), tab.At(i, j).Key(); got != want {
+				t.Errorf("cell (%d,%d): %q != %q", i, j, got, want)
+			}
+		}
+	}
+	// Append invalidates; the next Columnar call rebuilds at the new size.
+	tab.MustAppend(StrVal("13070"), NumVal(33), StrVal("Divorced"))
+	bc2 := tab.Columnar()
+	if bc2 == bc || bc2.Len() != tab.Len() {
+		t.Fatal("backing not rebuilt after Append")
+	}
+	// In-place cell mutation requires explicit invalidation.
+	tab.Rows[0][2] = StrVal("Widowed")
+	tab.InvalidateColumns()
+	if got := tab.Columnar().At(0, 2).Text(); got != "Widowed" {
+		t.Fatalf("stale backing after InvalidateColumns: %q", got)
+	}
+}
+
+func TestTableColumnSharesBacking(t *testing.T) {
+	tab := demoTable(t)
+	tab.Columnar()
+	col := tab.Column(1)
+	if len(col) != tab.Len() {
+		t.Fatalf("column length %d", len(col))
+	}
+	for i := range col {
+		if !col[i].Equal(tab.At(i, 1)) {
+			t.Errorf("row %d: %v != %v", i, col[i], tab.At(i, 1))
+		}
+	}
+}
+
+func TestColumnarTableRoundTrip(t *testing.T) {
+	schema := demoSchema(t)
+	c := NewColumnar(schema)
+	c.MustAppend(StrVal("13053"), NumVal(28), StrVal("CF-Spouse"))
+	c.MustAppend(PrefixVal("1305", 1), IntervalVal(25, 35), StarVal())
+	if err := c.AppendRow([]Value{StrVal("x")}); err == nil {
+		t.Error("short row should error")
+	}
+	tab := c.Table()
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.Columnar() != c {
+		t.Error("materialized table should carry its columnar backing")
+	}
+	if got := tab.At(1, 1); !got.Equal(IntervalVal(25, 35)) {
+		t.Errorf("cell (1,1) = %v", got)
+	}
+}
+
+func TestSchemaIndexMemo(t *testing.T) {
+	s := demoSchema(t)
+	if got := s.Index("Age"); got != 1 {
+		t.Fatalf("Index(Age) = %d", got)
+	}
+	if got := s.Index("Nope"); got != -1 {
+		t.Fatalf("Index(Nope) = %d", got)
+	}
+	cl := s.Clone()
+	if got := cl.Index("MaritalStatus"); got != 2 {
+		t.Fatalf("cloned Index(MaritalStatus) = %d", got)
+	}
+}
+
+func TestDistinctCountColumnarFastPath(t *testing.T) {
+	tab := demoTable(t)
+	fresh := NewTable(tab.Schema)
+	for _, row := range tab.Rows {
+		fresh.MustAppend(row...)
+	}
+	want := fresh.DistinctCount(0) // unbacked slow path
+	tab.Columnar()                 // warm the backing; fast path must agree
+	got := tab.DistinctCount(0)
+	if got != want {
+		t.Fatalf("DistinctCount fast path %d != %d", got, want)
+	}
+}

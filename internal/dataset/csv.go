@@ -13,9 +13,26 @@ import (
 // the suppressed value; "(lo,hi]" parses as an interval; a trailing run of
 // '*' after a non-empty prefix parses as a Prefix value. Everything else in a
 // categorical column is an exact string.
+//
+// Ingest is columnar: cells stream straight into dictionary-encoded
+// columns and the row-oriented Rows view is materialized once at the end,
+// already carrying its columnar backing.
 func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
+	c, err := ReadCSVColumnar(r, schema)
+	if err != nil {
+		return nil, err
+	}
+	return c.Table(), nil
+}
+
+// ReadCSVColumnar is ReadCSV without the row materialization: it streams
+// records into a Columnar table, never holding more than one CSV record of
+// row-oriented state. This is the ingest path for workloads that stay on
+// the columnar substrate.
+func ReadCSVColumnar(r io.Reader, schema *Schema) (*Columnar, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = schema.Len()
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
@@ -25,7 +42,7 @@ func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 			return nil, fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", j, header[j], a.Name)
 		}
 	}
-	t := NewTable(schema)
+	c := NewColumnar(schema)
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -34,19 +51,16 @@ func ReadCSV(r io.Reader, schema *Schema) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
 		}
-		row := make([]Value, schema.Len())
 		for j, field := range rec {
 			v, err := ParseValue(strings.TrimSpace(field), schema.Attrs[j].Kind)
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d, column %q: %w", line, schema.Attrs[j].Name, err)
 			}
-			row[j] = v
+			c.appendCell(j, v)
 		}
-		if err := t.Append(row); err != nil {
-			return nil, err
-		}
+		c.rows++
 	}
-	return t, nil
+	return c, nil
 }
 
 // ParseValue parses one CSV field according to the attribute kind. See

@@ -44,6 +44,74 @@ func FuzzParseValue(f *testing.F) {
 	})
 }
 
+// FuzzCSVIngesterChunks checks that the chunk-tolerant ingester parses any
+// input identically regardless of where the chunk boundaries fall: feeding
+// the bytes in `chunk`-sized pieces must produce the same table — or the
+// same error/no-error outcome — as feeding them all at once.
+func FuzzCSVIngesterChunks(f *testing.F) {
+	header := "ZipCode,Age,MaritalStatus\n"
+	for _, body := range []string{
+		"13053,28,CF-Spouse\n",
+		"1305*,\"(25,35]\",Married\n*,*,*\n",
+		"\"13268\",41,\"Sep,arated\"\r\n",
+		"13053,28,\"quote\"\"inside\"\n",
+		"13053,28,\"line\nbreak\"\n",
+		"13053,28,\"crlf\r\nbreak\"\r\n",
+		"\n\n13053,28,x",
+		"13\"053,28,x\n",
+		"\"13053,28,x\n",
+		"\"13053\"z,28,x\n",
+	} {
+		f.Add(header+body, 1)
+		f.Add(header+body, 3)
+		f.Add(header+body, 7)
+	}
+	f.Fuzz(func(t *testing.T, in string, chunk int) {
+		if chunk < 1 || chunk > len(in)+1 {
+			return
+		}
+		schema := MustSchema(
+			Attribute{Name: "ZipCode", Kind: Categorical, Role: QuasiIdentifier},
+			Attribute{Name: "Age", Kind: Numeric, Role: QuasiIdentifier},
+			Attribute{Name: "MaritalStatus", Kind: Categorical, Role: Sensitive},
+		)
+		whole := NewCSVIngester(schema)
+		_, werr := whole.Write([]byte(in))
+		if werr == nil {
+			werr = whole.Close()
+		}
+		chunked := NewCSVIngester(schema)
+		var cerr error
+		for i := 0; i < len(in) && cerr == nil; i += chunk {
+			end := i + chunk
+			if end > len(in) {
+				end = len(in)
+			}
+			_, cerr = chunked.Write([]byte(in[i:end]))
+		}
+		if cerr == nil {
+			cerr = chunked.Close()
+		}
+		if (werr == nil) != (cerr == nil) {
+			t.Fatalf("chunk=%d: outcome diverged: whole=%v chunked=%v", chunk, werr, cerr)
+		}
+		if werr != nil {
+			return
+		}
+		a, b := whole.Table(), chunked.Table()
+		if a.Len() != b.Len() {
+			t.Fatalf("chunk=%d: %d rows != %d rows", chunk, a.Len(), b.Len())
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if x, y := a.At(i, j).Key(), b.At(i, j).Key(); x != y {
+					t.Fatalf("chunk=%d cell (%d,%d): %q != %q", chunk, i, j, x, y)
+				}
+			}
+		}
+	})
+}
+
 // FuzzCSVRoundTrip checks Write∘Read stability for tables built from
 // arbitrary cell text.
 func FuzzCSVRoundTrip(f *testing.F) {

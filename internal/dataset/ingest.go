@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSVIngester is a push-style, chunk-tolerant CSV parser building a
+// Columnar table: callers feed arbitrary byte chunks (network frames, file
+// blocks) via Write and the ingester assembles complete CSV records across
+// chunk boundaries — including quoted fields containing commas, escaped
+// quotes and embedded newlines — parsing each record straight into
+// dictionary-encoded columns. No [][]Value is ever materialized and no
+// more than one record of text is buffered beyond the unconsumed tail.
+//
+// The accepted record syntax mirrors ReadCSV (RFC 4180 with strict
+// quoting): the first record must be the header matching the schema's
+// attribute names in order, "" escapes a quote inside a quoted field,
+// \r\n inside a quoted field normalizes to \n, empty lines are skipped,
+// and a bare quote inside an unquoted field is an error. The chunked and
+// whole-input parses are byte-for-byte identical regardless of where the
+// chunk boundaries fall.
+type CSVIngester struct {
+	schema *Schema
+	cols   *Columnar
+
+	buf     []byte // unconsumed input tail
+	scanned int    // bytes of buf already boundary-scanned
+	inQuote bool   // quote state at buf[scanned]
+
+	record    int  // 1-based record counter (header is record 1)
+	sawHeader bool
+	closed    bool
+	err       error
+
+	fields []string // per-record scratch
+}
+
+// NewCSVIngester returns an ingester for the schema. Feed chunks with
+// Write, then Close; the accumulated table is available via Columnar or
+// Table.
+func NewCSVIngester(schema *Schema) *CSVIngester {
+	return &CSVIngester{schema: schema, cols: NewColumnar(schema)}
+}
+
+// Write feeds one chunk. It implements io.Writer: every call consumes the
+// whole chunk or returns the error that stopped parsing; once an error is
+// returned, the ingester is poisoned and further calls return it again.
+func (g *CSVIngester) Write(p []byte) (int, error) {
+	if g.err != nil {
+		return 0, g.err
+	}
+	if g.closed {
+		g.err = fmt.Errorf("dataset: CSV ingest: write after Close")
+		return 0, g.err
+	}
+	g.buf = append(g.buf, p...)
+	if err := g.drain(); err != nil {
+		g.err = err
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close flushes a final unterminated record (input not ending in a
+// newline) and seals the ingester.
+func (g *CSVIngester) Close() error {
+	if g.err != nil {
+		return g.err
+	}
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	if g.inQuote {
+		g.err = fmt.Errorf("dataset: CSV ingest: unterminated quoted field at end of input")
+		return g.err
+	}
+	if len(g.buf) > 0 {
+		if err := g.endRecord(g.buf); err != nil {
+			g.err = err
+			return err
+		}
+		g.buf = nil
+	}
+	if !g.sawHeader {
+		g.err = fmt.Errorf("dataset: CSV ingest: no header record")
+		return g.err
+	}
+	return nil
+}
+
+// Len returns the number of data rows ingested so far.
+func (g *CSVIngester) Len() int { return g.cols.Len() }
+
+// Columnar returns the accumulated columnar table. Call after Close; the
+// result reflects only fully parsed records.
+func (g *CSVIngester) Columnar() *Columnar { return g.cols }
+
+// Table returns the accumulated table materialized as the row-oriented
+// compatibility view, carrying its columnar backing.
+func (g *CSVIngester) Table() *Table { return g.cols.Table() }
+
+// drain scans the buffered bytes for complete records (newlines outside
+// quoted fields) and parses each one, compacting the buffer afterwards.
+func (g *CSVIngester) drain() error {
+	start := 0
+	for i := g.scanned; i < len(g.buf); i++ {
+		switch g.buf[i] {
+		case '"':
+			// Toggling on every quote is exact for well-formed CSV: quotes
+			// appear only opening/closing fields or doubled inside quoted
+			// fields, and a doubled "" toggles out and straight back in.
+			g.inQuote = !g.inQuote
+		case '\n':
+			if !g.inQuote {
+				if err := g.endRecord(g.buf[start:i]); err != nil {
+					return err
+				}
+				start = i + 1
+			}
+		}
+	}
+	g.scanned = len(g.buf)
+	if start > 0 {
+		rest := copy(g.buf, g.buf[start:])
+		g.buf = g.buf[:rest]
+		g.scanned = rest
+	}
+	return nil
+}
+
+// endRecord handles one complete record line (without its terminating
+// newline): header validation for record 1, cell parsing into the columns
+// for every later record. Empty lines are skipped, as encoding/csv does.
+func (g *CSVIngester) endRecord(line []byte) error {
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	if len(line) == 0 {
+		return nil
+	}
+	g.record++
+	fields, err := g.splitRecord(line)
+	if err != nil {
+		return err
+	}
+	if len(fields) != g.schema.Len() {
+		return fmt.Errorf("dataset: CSV ingest: record %d has %d fields, schema has %d attributes", g.record, len(fields), g.schema.Len())
+	}
+	if !g.sawHeader {
+		for j, a := range g.schema.Attrs {
+			if strings.TrimSpace(fields[j]) != a.Name {
+				return fmt.Errorf("dataset: CSV column %d is %q, schema expects %q", j, fields[j], a.Name)
+			}
+		}
+		g.sawHeader = true
+		return nil
+	}
+	for j, field := range fields {
+		v, err := ParseValue(strings.TrimSpace(field), g.schema.Attrs[j].Kind)
+		if err != nil {
+			return fmt.Errorf("dataset: line %d, column %q: %w", g.record, g.schema.Attrs[j].Name, err)
+		}
+		g.cols.appendCell(j, v)
+	}
+	g.cols.rows++
+	return nil
+}
+
+// splitRecord splits one record into fields with RFC 4180 strict-quote
+// semantics, matching encoding/csv for well-formed input.
+func (g *CSVIngester) splitRecord(line []byte) ([]string, error) {
+	fields := g.fields[:0]
+	i := 0
+	for {
+		if i < len(line) && line[i] == '"' {
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(line) {
+				c := line[i]
+				if c == '"' {
+					if i+1 < len(line) && line[i+1] == '"' {
+						b.WriteByte('"')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				if c == '\r' && i+1 < len(line) && line[i+1] == '\n' {
+					// encoding/csv normalizes \r\n inside quoted fields.
+					b.WriteByte('\n')
+					i += 2
+					continue
+				}
+				b.WriteByte(c)
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("dataset: CSV ingest: record %d: missing closing quote", g.record)
+			}
+			if i < len(line) && line[i] != ',' {
+				return nil, fmt.Errorf("dataset: CSV ingest: record %d: extraneous data after quoted field", g.record)
+			}
+			fields = append(fields, b.String())
+		} else {
+			start := i
+			for i < len(line) && line[i] != ',' {
+				if line[i] == '"' {
+					return nil, fmt.Errorf("dataset: CSV ingest: record %d: bare quote in unquoted field", g.record)
+				}
+				i++
+			}
+			fields = append(fields, string(line[start:i]))
+		}
+		if i >= len(line) {
+			break
+		}
+		i++ // consume the comma; a trailing comma yields a final empty field
+	}
+	g.fields = fields
+	return fields, nil
+}

@@ -3,6 +3,7 @@ package dataset
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Role classifies how an attribute participates in disclosure control.
@@ -62,22 +63,26 @@ type Attribute struct {
 // Schema is an ordered list of attributes.
 type Schema struct {
 	Attrs []Attribute
+	// byName memoizes attribute name -> index. NewSchema builds it; Index
+	// falls back to a linear scan for literal-constructed schemas or after
+	// Attrs is resized by hand.
+	byName map[string]int
 }
 
 // NewSchema builds a schema from the given attributes, rejecting duplicate
 // or empty names.
 func NewSchema(attrs ...Attribute) (*Schema, error) {
-	seen := make(map[string]bool, len(attrs))
-	for _, a := range attrs {
+	byName := make(map[string]int, len(attrs))
+	for i, a := range attrs {
 		if a.Name == "" {
 			return nil, fmt.Errorf("dataset: attribute with empty name")
 		}
-		if seen[a.Name] {
+		if _, dup := byName[a.Name]; dup {
 			return nil, fmt.Errorf("dataset: duplicate attribute %q", a.Name)
 		}
-		seen[a.Name] = true
+		byName[a.Name] = i
 	}
-	return &Schema{Attrs: attrs}, nil
+	return &Schema{Attrs: attrs, byName: byName}, nil
 }
 
 // MustSchema is NewSchema that panics on error; intended for fixtures and
@@ -93,8 +98,17 @@ func MustSchema(attrs ...Attribute) *Schema {
 // Len returns the number of attributes.
 func (s *Schema) Len() int { return len(s.Attrs) }
 
-// Index returns the position of the named attribute, or -1.
+// Index returns the position of the named attribute, or -1. Schemas built
+// by NewSchema/MustSchema answer from a memoized map; Index used to sit
+// inside per-row loops via ColumnByName callers, where the O(attrs) scan
+// compounded.
 func (s *Schema) Index(name string) int {
+	if len(s.byName) == len(s.Attrs) {
+		if i, ok := s.byName[name]; ok {
+			return i
+		}
+		return -1
+	}
 	for i, a := range s.Attrs {
 		if a.Name == name {
 			return i
@@ -137,15 +151,29 @@ func (s *Schema) SensitiveIndex() int {
 func (s *Schema) Clone() *Schema {
 	attrs := make([]Attribute, len(s.Attrs))
 	copy(attrs, s.Attrs)
-	return &Schema{Attrs: attrs}
+	byName := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		byName[a.Name] = i
+	}
+	return &Schema{Attrs: attrs, byName: byName}
 }
 
 // Table is a microdata table: a schema plus N rows of cells. Tables are
 // mutable; anonymization algorithms operate on copies (see Clone) so the
 // original data set stays available for property measurement.
+//
+// A Table may carry a lazily built columnar backing (see Columnar): the
+// dictionary-encoded view the vectorized hot paths run on. The backing is
+// dropped automatically by Append and never copied by Clone; code that
+// rewrites cells of t.Rows in place must call InvalidateColumns afterwards
+// (every mutator in this module does), otherwise the columnar view goes
+// stale undetected.
 type Table struct {
 	Schema *Schema
 	Rows   [][]Value
+
+	colMu sync.Mutex
+	cols  *Columnar
 }
 
 // NewTable returns an empty table with the given schema.
@@ -159,6 +187,7 @@ func (t *Table) Append(row []Value) error {
 		return fmt.Errorf("dataset: row has %d cells, schema has %d attributes", len(row), t.Schema.Len())
 	}
 	t.Rows = append(t.Rows, row)
+	t.InvalidateColumns()
 	return nil
 }
 
@@ -175,8 +204,57 @@ func (t *Table) Len() int { return len(t.Rows) }
 // At returns the cell at row i, column j.
 func (t *Table) At(i, j int) Value { return t.Rows[i][j] }
 
-// Column returns a copy of column j.
+// InvalidateColumns drops the cached columnar backing. Call after
+// rewriting cells of Rows in place; Append and Clone handle themselves.
+func (t *Table) InvalidateColumns() {
+	t.colMu.Lock()
+	t.cols = nil
+	t.colMu.Unlock()
+}
+
+// Columnar returns the dictionary-encoded columnar view of the table,
+// built at most once and cached (safe for concurrent use). Tables
+// materialized from a Columnar (streaming CSV ingest, the generator) carry
+// their backing from birth, so the call is free there.
+func (t *Table) Columnar() *Columnar {
+	t.colMu.Lock()
+	defer t.colMu.Unlock()
+	if t.cols != nil && t.cols.rows == len(t.Rows) {
+		return t.cols
+	}
+	c := NewColumnar(t.Schema)
+	for _, row := range t.Rows {
+		for j, v := range row {
+			c.cols[j].Append(v)
+		}
+	}
+	c.rows = len(t.Rows)
+	t.cols = c
+	return c
+}
+
+// backing returns the cached columnar view only when it is present and
+// consistent with the current row count; it never builds one.
+func (t *Table) backing() *Columnar {
+	t.colMu.Lock()
+	defer t.colMu.Unlock()
+	if t.cols != nil && t.cols.rows == len(t.Rows) {
+		return t.cols
+	}
+	return nil
+}
+
+// ColumnVector returns column j as a dictionary-encoded Column, served
+// from the columnar backing (building and caching it on first use).
+func (t *Table) ColumnVector(j int) *Column { return t.Columnar().Col(j) }
+
+// Column returns column j as a []Value. For tables with a columnar
+// backing this is the backing's cached view — no copy, treat it as
+// read-only; for plain tables it is a fresh copy.
 func (t *Table) Column(j int) []Value {
+	if bc := t.backing(); bc != nil {
+		return bc.Col(j).Values()
+	}
 	col := make([]Value, len(t.Rows))
 	for i, r := range t.Rows {
 		col[i] = r[j]
@@ -206,6 +284,9 @@ func (t *Table) Clone() *Table {
 
 // DistinctCount returns the number of distinct values (by Key) in column j.
 func (t *Table) DistinctCount(j int) int {
+	if bc := t.backing(); bc != nil {
+		return bc.Col(j).Card()
+	}
 	seen := make(map[string]struct{}, len(t.Rows))
 	for _, r := range t.Rows {
 		seen[r[j].Key()] = struct{}{}
@@ -217,6 +298,21 @@ func (t *Table) DistinctCount(j int) int {
 // values. Interval cells contribute their bounds. It returns ok=false if
 // the column holds no numeric information.
 func (t *Table) NumericRange(j int) (lo, hi float64, ok bool) {
+	if bc := t.backing(); bc != nil {
+		if col := bc.Col(j); col.IsNumeric() {
+			// Purely numeric column: the range is a scan over the (small)
+			// dictionary payload, independent of the row count.
+			for d, f := range col.NumericDict() {
+				if d == 0 || f < lo {
+					lo = f
+				}
+				if d == 0 || f > hi {
+					hi = f
+				}
+			}
+			return lo, hi, true
+		}
+	}
 	first := true
 	for _, r := range t.Rows {
 		var l, h float64

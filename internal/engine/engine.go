@@ -35,7 +35,6 @@ package engine
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
 	"math"
 	"runtime"
@@ -121,6 +120,9 @@ type Engine struct {
 	workers   int
 	cache     *lruCache
 	counters  *instruments
+	// scratch pools the per-evaluation code vectors (one []uint32 per
+	// quasi-identifier, table-length) across concurrent evaluations.
+	scratch sync.Pool
 }
 
 // New builds an engine for the table under the configuration. The
@@ -175,31 +177,27 @@ func NewContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config, opt
 	return e, nil
 }
 
-// precompute builds the per-attribute, per-level fragment tables.
+// precompute builds the per-attribute, per-level fragment tables. The
+// distinct-ground-value pass IS the table's dictionary encoding: each
+// quasi-identifier's codes and dictionary come straight from the columnar
+// backing (free for tables born columnar — CSV ingest, the generator —
+// and built once and cached otherwise).
 func (e *Engine) precompute() error {
 	qi := e.t.Schema.QuasiIdentifiers()
 	needLoss := e.cfg.Metric == algorithm.MetricLM
 	e.attrs = make([]attrFrags, len(qi))
+	columnar := e.t.Columnar()
 	for li, j := range qi {
 		attr := e.t.Schema.Attrs[j]
 		h, ok := e.cfg.Hierarchies[attr.Name]
 		if !ok {
 			return fmt.Errorf("engine: no hierarchy for quasi-identifier %q", attr.Name)
 		}
-		// Distinct ground values, in first-appearance order.
-		index := make(map[string]uint32)
-		ground := make([]uint32, e.t.Len())
-		var distinct []dataset.Value
-		for i, row := range e.t.Rows {
-			key := row[j].Key()
-			id, seen := index[key]
-			if !seen {
-				id = uint32(len(distinct))
-				index[key] = id
-				distinct = append(distinct, row[j])
-			}
-			ground[i] = id
-		}
+		// Distinct ground values in first-appearance order: the column's
+		// dictionary. Codes and dictionary are shared read-only.
+		col := columnar.Col(j)
+		ground := col.Codes()
+		distinct := col.Dict()
 		// The loss domain mirrors utility.LossVector: numeric attributes
 		// take their domain from the ORIGINAL table.
 		var domLo, domHi float64
@@ -363,7 +361,29 @@ func (e *Engine) Evaluate(ctx context.Context, node lattice.Node) (*Evaluation, 
 	return ev, nil
 }
 
-// evaluate runs the signature-assembly pipeline for one uncached node.
+// evalScratch holds the per-evaluation code vectors and cardinalities,
+// pooled across concurrent node evaluations.
+type evalScratch struct {
+	cols  [][]uint32
+	cards []int
+}
+
+func (e *Engine) getScratch() *evalScratch {
+	if cs, ok := e.scratch.Get().(*evalScratch); ok {
+		return cs
+	}
+	cs := &evalScratch{cols: make([][]uint32, len(e.attrs)), cards: make([]int, len(e.attrs))}
+	n := e.t.Len()
+	for li := range cs.cols {
+		cs.cols[li] = make([]uint32, n)
+	}
+	return cs
+}
+
+// evaluate runs the vectorized group-by pipeline for one uncached node:
+// per attribute, gather the node-level fragment id of every row into a
+// pooled code vector (a tight slice-indexing loop), then combine the code
+// vectors with eqclass.FromCodes — no per-row signature strings.
 func (e *Engine) evaluate(node lattice.Node) (*Evaluation, error) {
 	n := e.t.Len()
 	e.counters.nodesEvaluated.Inc()
@@ -371,17 +391,18 @@ func (e *Engine) evaluate(node lattice.Node) (*Evaluation, error) {
 	if h := node.Height(); h >= 0 && h < len(e.counters.visited) {
 		e.counters.visited[h].Inc()
 	}
-	sigs := make([]string, n)
-	buf := make([]byte, 4*len(e.attrs))
-	for i := 0; i < n; i++ {
-		for li := range e.attrs {
-			at := &e.attrs[li]
-			id := at.levels[node[li]].frag[at.ground[i]]
-			binary.LittleEndian.PutUint32(buf[4*li:], id)
+	cs := e.getScratch()
+	defer e.scratch.Put(cs)
+	for li := range e.attrs {
+		at := &e.attrs[li]
+		lf := &at.levels[node[li]]
+		frag, dst := lf.frag, cs.cols[li]
+		for i, g := range at.ground {
+			dst[i] = frag[g]
 		}
-		sigs[i] = string(buf)
+		cs.cards[li] = lf.nFrag
 	}
-	p, err := eqclass.FromSignatures(sigs)
+	p, err := eqclass.FromCodes(cs.cols, cs.cards)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
@@ -474,35 +495,36 @@ func (e *Engine) lossMetric(ev *Evaluation) float64 {
 // in the materialized path.
 func (e *Engine) suppressedPartition(ev *Evaluation) (*eqclass.Partition, error) {
 	n := e.t.Len()
-	starFrag := make([]uint32, len(e.attrs))
-	for li := range e.attrs {
-		lf := &e.attrs[li].levels[ev.Node[li]]
-		if lf.star >= 0 {
-			starFrag[li] = uint32(lf.star)
-		} else {
-			// No ground value reaches "*" at this level: any sentinel
-			// distinct from all real ids keeps the star class separate.
-			starFrag[li] = ^uint32(0)
-		}
-	}
 	suppressed := make([]bool, n)
 	for _, r := range ev.Bad {
 		suppressed[r] = true
 	}
-	sigs := make([]string, n)
-	buf := make([]byte, 4*len(e.attrs))
-	for i := 0; i < n; i++ {
-		for li := range e.attrs {
-			at := &e.attrs[li]
-			id := at.levels[ev.Node[li]].frag[at.ground[i]]
-			if suppressed[i] {
-				id = starFrag[li]
-			}
-			binary.LittleEndian.PutUint32(buf[4*li:], id)
+	cs := e.getScratch()
+	defer e.scratch.Put(cs)
+	for li := range e.attrs {
+		at := &e.attrs[li]
+		lf := &at.levels[ev.Node[li]]
+		card := lf.nFrag
+		var starID uint32
+		if lf.star >= 0 {
+			starID = uint32(lf.star)
+		} else {
+			// No ground value reaches "*" at this level: a sentinel code one
+			// past the real ids keeps the star class separate.
+			starID = uint32(lf.nFrag)
+			card++
 		}
-		sigs[i] = string(buf)
+		frag, dst := lf.frag, cs.cols[li]
+		for i, g := range at.ground {
+			if suppressed[i] {
+				dst[i] = starID
+			} else {
+				dst[i] = frag[g]
+			}
+		}
+		cs.cards[li] = card
 	}
-	p, err := eqclass.FromSignatures(sigs)
+	p, err := eqclass.FromCodes(cs.cols, cs.cards)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}

@@ -1,0 +1,184 @@
+// This file holds the vectorized grouping path: the radix/hash group-by
+// over dictionary-code vectors that replaces '\x1f'-joined signature
+// strings as the primary partitioning path. FromSignatures/WriteSignature
+// remain the pinned reference; the cross-validation tests hold both paths
+// element-identical.
+
+package eqclass
+
+import (
+	"fmt"
+
+	"microdata/internal/dataset"
+)
+
+// radixMax bounds the (groups × cardinality) product under which a combine
+// pass uses a flat radix table instead of a hash map. 1<<22 int32 slots is
+// 16 MiB of scratch — cheap against the row vectors it indexes.
+const radixMax = 1 << 22
+
+// FromCodes partitions n rows by the tuple of their per-column dictionary
+// codes. cols holds one row-aligned code vector per column; cards[c] is an
+// upper bound on the distinct codes of column c (its dictionary
+// cardinality), or 0 when unknown. The resulting partition is canonical:
+// classes ordered by first appearance of their code tuple, rows ascending
+// within a class — element-identical to signing each row with
+// WriteSignature and grouping via FromSignatures.
+//
+// Columns are combined pairwise: after column c every row holds a group id
+// renumbered by first appearance, and column c+1 refines it through either
+// a flat radix table (when groups×card fits radixMax) or a uint64 hash
+// map. Both paths are allocation-lean integer loops — no per-row strings.
+func FromCodes(cols [][]uint32, cards []int) (*Partition, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("eqclass: no columns to partition on")
+	}
+	if len(cards) != len(cols) {
+		return nil, fmt.Errorf("eqclass: %d cardinalities for %d columns", len(cards), len(cols))
+	}
+	n := len(cols[0])
+	for _, col := range cols[1:] {
+		if len(col) != n {
+			return nil, fmt.Errorf("eqclass: ragged code vectors (%d vs %d rows)", len(col), n)
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("eqclass: no signatures to partition on")
+	}
+	ids := make([]uint32, n)
+	groups := 1
+	for c, codes := range cols {
+		card := cards[c]
+		if card <= 0 {
+			max := uint32(0)
+			for _, cd := range codes {
+				if cd > max {
+					max = cd
+				}
+			}
+			card = int(max) + 1
+		}
+		var err error
+		if groups, err = combine(ids, codes, groups, card); err != nil {
+			return nil, err
+		}
+	}
+	return fromGroupIDs(ids, groups), nil
+}
+
+// combine refines the group ids in place with one more code column,
+// returning the new group count. New ids are assigned in first-appearance
+// (row-scan) order, which keeps the final class order canonical.
+func combine(ids []uint32, codes []uint32, groups, card int) (int, error) {
+	next := uint32(0)
+	if prod := int64(groups) * int64(card); prod <= radixMax {
+		lut := make([]int32, prod)
+		for i := range lut {
+			lut[i] = -1
+		}
+		ucard := uint32(card)
+		for i, cd := range codes {
+			if cd >= ucard {
+				return 0, fmt.Errorf("eqclass: code %d exceeds cardinality %d", cd, card)
+			}
+			k := ids[i]*ucard + cd
+			g := lut[k]
+			if g < 0 {
+				g = int32(next)
+				lut[k] = g
+				next++
+			}
+			ids[i] = uint32(g)
+		}
+		return int(next), nil
+	}
+	m := make(map[uint64]uint32, groups)
+	for i, cd := range codes {
+		k := uint64(ids[i])<<32 | uint64(cd)
+		g, ok := m[k]
+		if !ok {
+			g = next
+			m[k] = g
+			next++
+		}
+		ids[i] = g
+	}
+	return int(next), nil
+}
+
+// fromGroupIDs materializes a Partition from per-row group ids numbered
+// 0..groups-1 in first-appearance order, carving all classes out of one
+// backing array exactly as FromSignatures does.
+func fromGroupIDs(ids []uint32, groups int) *Partition {
+	p := &Partition{
+		ClassOf: make([]int, len(ids)),
+		n:       len(ids),
+	}
+	counts := make([]int, groups)
+	for i, g := range ids {
+		p.ClassOf[i] = int(g)
+		counts[g]++
+	}
+	backing := make([]int, len(ids))
+	p.Classes = make([][]int, groups)
+	off := 0
+	for g, c := range counts {
+		p.Classes[g] = backing[off : off : off+c]
+		off += c
+	}
+	for i, g := range ids {
+		p.Classes[g] = append(p.Classes[g], i)
+	}
+	return p
+}
+
+// FromColumnar partitions a columnar table over an explicit set of column
+// indices, running entirely on dictionary codes.
+func FromColumnar(c *dataset.Columnar, cols []int) (*Partition, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("eqclass: no columns to partition on")
+	}
+	vecs := make([][]uint32, len(cols))
+	cards := make([]int, len(cols))
+	for vi, j := range cols {
+		if j < 0 || j >= c.Schema().Len() {
+			return nil, fmt.Errorf("eqclass: column index %d out of range", j)
+		}
+		col := c.Col(j)
+		vecs[vi] = col.Codes()
+		cards[vi] = col.Card()
+	}
+	return FromCodes(vecs, cards)
+}
+
+// ValueCountsColumn is Partition.ValueCounts computed over a
+// dictionary-encoded column: per-class tallies run on integer codes with a
+// cardinality-sized scratch vector, and value keys are resolved once per
+// distinct (class, value) pair instead of once per row.
+func (p *Partition) ValueCountsColumn(col *dataset.Column) ([]map[string]int, error) {
+	if col.Len() != p.n {
+		return nil, fmt.Errorf("eqclass: column has %d values for %d rows", col.Len(), p.n)
+	}
+	codes := col.Codes()
+	keys := col.DictKeys()
+	scratch := make([]int, col.Card())
+	touched := make([]uint32, 0, col.Card())
+	out := make([]map[string]int, len(p.Classes))
+	for ci, rows := range p.Classes {
+		for _, r := range rows {
+			c := codes[r]
+			if scratch[c] == 0 {
+				touched = append(touched, c)
+			}
+			scratch[c]++
+		}
+		m := make(map[string]int, len(touched))
+		for _, c := range touched {
+			m[keys[c]] = scratch[c]
+			scratch[c] = 0
+		}
+		out[ci] = m
+		touched = touched[:0]
+	}
+	return out, nil
+}

@@ -35,6 +35,13 @@ func FromTable(t *dataset.Table) (*Partition, error) {
 }
 
 // FromColumns partitions the table over an explicit set of column indices.
+//
+// The grouping runs vectorized: the table's dictionary-encoded columnar
+// backing (built and cached on first use) supplies per-column code
+// vectors, and FromCodes combines them with radix/hash passes — no
+// per-row signature strings. The result is element-identical to signing
+// every row with WriteSignature and grouping via FromSignatures, which
+// the cross-validation tests pin.
 func FromColumns(t *dataset.Table, cols []int) (*Partition, error) {
 	for _, j := range cols {
 		if j < 0 || j >= t.Schema.Len() {
@@ -44,26 +51,10 @@ func FromColumns(t *dataset.Table, cols []int) (*Partition, error) {
 	if len(cols) == 0 {
 		return nil, fmt.Errorf("eqclass: no columns to partition on")
 	}
-	p := &Partition{
-		ClassOf: make([]int, t.Len()),
-		n:       t.Len(),
+	if t.Len() == 0 {
+		return &Partition{ClassOf: []int{}, n: 0}, nil
 	}
-	index := make(map[string]int)
-	var sb strings.Builder
-	for i, row := range t.Rows {
-		sb.Reset()
-		WriteSignature(&sb, row, cols)
-		sig := sb.String()
-		ci, ok := index[sig]
-		if !ok {
-			ci = len(p.Classes)
-			index[sig] = ci
-			p.Classes = append(p.Classes, nil)
-		}
-		p.Classes[ci] = append(p.Classes[ci], i)
-		p.ClassOf[i] = ci
-	}
-	return p, nil
+	return FromColumnar(t.Columnar(), cols)
 }
 
 // WriteSignature appends the '\x1f'-separated Value.Key signature of row

@@ -60,20 +60,22 @@ func Schema() *dataset.Schema {
 	)
 }
 
-// Generate draws a deterministic synthetic census table.
+// Generate draws a deterministic synthetic census table. Rows go straight
+// into dictionary-encoded columns, so the returned table carries a columnar
+// backing and downstream grouping never re-encodes it.
 func Generate(cfg Config) (*dataset.Table, error) {
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("generator: N must be positive, got %d", cfg.N)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	t := dataset.NewTable(Schema())
+	c := dataset.NewColumnar(Schema())
 	for i := 0; i < cfg.N; i++ {
 		age := drawAge(rng)
 		zip := drawZip(rng, age)
 		edu := drawEducation(rng, age)
 		mar := drawMarital(rng, age)
 		dis := drawDisease(rng, age, zip)
-		t.MustAppend(
+		c.MustAppend(
 			dataset.NumVal(float64(age)),
 			dataset.StrVal(zip),
 			dataset.StrVal(edu),
@@ -81,7 +83,7 @@ func Generate(cfg Config) (*dataset.Table, error) {
 			dataset.StrVal(dis),
 		)
 	}
-	return t, nil
+	return c.Table(), nil
 }
 
 // drawAge samples a right-skewed working-age distribution over [17, 90].

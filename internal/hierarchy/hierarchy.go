@@ -123,6 +123,9 @@ func SuppressRows(t *dataset.Table, rows []int) {
 			t.Rows[i][j] = dataset.StarVal()
 		}
 	}
+	if len(rows) > 0 {
+		t.InvalidateColumns()
+	}
 }
 
 func checkLevel(level, max int) error {

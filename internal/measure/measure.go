@@ -79,15 +79,17 @@ func (c *Context) SensitiveColumn() ([]dataset.Value, error) {
 
 // ClassHistograms returns the per-class sensitive-value histograms
 // (Partition.ValueCounts), tallied once and shared by SensitiveCount,
-// DistinctSensitive, BreachSafety and TClosenessSafety.
+// DistinctSensitive, BreachSafety and TClosenessSafety. The tally runs on
+// the original table's dictionary-encoded sensitive column, so value keys
+// resolve once per distinct (class, value) pair instead of once per row.
 func (c *Context) ClassHistograms() ([]map[string]int, error) {
 	c.histOnce.Do(func() {
-		col, err := c.SensitiveColumn()
-		if err != nil {
-			c.histErr = err
+		si := c.Orig.Schema.SensitiveIndex()
+		if si < 0 {
+			c.histErr = fmt.Errorf("measure: schema has no sensitive attribute")
 			return
 		}
-		c.hist, c.histErr = c.Partition.ValueCounts(col)
+		c.hist, c.histErr = c.Partition.ValueCountsColumn(c.Orig.ColumnVector(si))
 	})
 	return c.hist, c.histErr
 }

@@ -116,6 +116,7 @@ func generalize(levels lattice.Node, maritalLevel int) (*dataset.Table, error) {
 			}
 			anon.Rows[i][j] = g
 		}
+		anon.InvalidateColumns()
 	}
 	return anon, nil
 }
