@@ -66,11 +66,13 @@ import (
 	"microdata/internal/lattice"
 	"microdata/internal/measure"
 	"microdata/internal/paperdata"
+	"microdata/internal/perfsuite"
 	"microdata/internal/privacy"
 	"microdata/internal/stats"
 	"microdata/internal/telemetry"
 	"microdata/internal/telemetry/debugserver"
 	"microdata/internal/telemetry/export"
+	"microdata/internal/telemetry/perf"
 	"microdata/internal/telemetry/progress"
 	"microdata/internal/telemetry/report"
 	"microdata/internal/utility"
@@ -640,6 +642,60 @@ var (
 	StartDebugServer    = debugserver.Start
 	BeginRunReport      = report.Begin
 )
+
+// Performance-trajectory observability (internal/telemetry/perf,
+// internal/perfsuite): canonical benchmark suites run under a harness that
+// records wall time, allocations and runtime/metrics health samples, sealed
+// into versioned perf packs (canonical JSON with a SHA-256 self-manifest)
+// and compared with a median/MAD drift gate. See README "Benchmarking" and
+// DESIGN.md "Perf packs".
+type (
+	// PerfPack is one sealed perf-pack document (schema
+	// "microdata/perf-pack" v1).
+	PerfPack = perf.Pack
+	// PerfBenchmark is one benchmark's recorded metric series in a pack.
+	PerfBenchmark = perf.Benchmark
+	// PerfSeries is one metric's samples with median/MAD statistics.
+	PerfSeries = perf.Series
+	// PerfEnv is the environment fingerprint recorded in every pack.
+	PerfEnv = perf.Env
+	// PerfSuiteSpec is a named set of benchmarks sharing a dataset.
+	PerfSuiteSpec = perf.SuiteSpec
+	// PerfOptions tunes a harness run (repetitions, warmup, logging).
+	PerfOptions = perf.Options
+	// PerfCompareOptions tunes the drift comparator's noise envelope.
+	PerfCompareOptions = perf.CompareOptions
+	// PerfDiff is the full comparison of two packs.
+	PerfDiff = perf.Diff
+	// PerfSuiteOptions sets the dataset parameters of the canonical suites.
+	PerfSuiteOptions = perfsuite.Options
+)
+
+// Stable CLI exit codes shared by anonbench, compare and benchdiff: 0 ok,
+// 1 failure, 2 verification failure, 5 regression drift, 6 invalid input.
+const (
+	ExitOK           = perf.ExitOK
+	ExitFailure      = perf.ExitFailure
+	ExitVerification = perf.ExitVerification
+	ExitDrift        = perf.ExitDrift
+	ExitInvalid      = perf.ExitInvalid
+)
+
+// Perf-pack constructors and helpers.
+var (
+	RunPerfSuites    = perf.RunSuites
+	ReadPerfPack     = perf.ReadFile
+	VerifyPerfPack   = perf.VerifyFile
+	ComparePerfPacks = perf.Compare
+	CanonicalJSON    = perf.Canonicalize
+	ExitCode         = perf.ExitCode
+	PerfSuiteNames   = perfsuite.Names
+	ResolvePerfSuite = perfsuite.Resolve
+)
+
+// TableHash returns the SHA-256 content hash of a table (schema + cells),
+// independent of its backing — the dataset fingerprint perf packs record.
+func TableHash(t *Table) (string, error) { return t.Hash() }
 
 // Telemetry constructors and helpers.
 var (

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"microdata"
+	"microdata/internal/telemetry/perf"
 )
 
 // attackBenchReport is the JSON document -bench-attack writes: wall-clock
@@ -146,8 +147,9 @@ func benchProsecutor(ctx context.Context, name string, tab, anon *microdata.Tabl
 			return row, err
 		}
 		if i := firstDiff(naiveVec, vec); i >= 0 {
-			return row, fmt.Errorf("bench-attack: %s: indexed prosecutor vector (workers=%d) diverges from naive at row %d: %g vs %g",
-				name, variant.workers, i, vec[i], naiveVec[i])
+			return row, perf.Exit(perf.ExitVerification,
+				fmt.Errorf("bench-attack: %s: indexed prosecutor vector (workers=%d) diverges from naive at row %d: %g vs %g",
+					name, variant.workers, i, vec[i], naiveVec[i]))
 		}
 		row.Regions = adv.Stats().Regions
 	}
@@ -214,8 +216,9 @@ func benchJournalist(ctx context.Context, name string, cfg microdata.AlgorithmCo
 		return row, err
 	}
 	if i := firstDiff(naiveVec, vec); i >= 0 {
-		return row, fmt.Errorf("bench-attack: %s: indexed journalist vector diverges from naive at row %d: %g vs %g",
-			name, i, vec[i], naiveVec[i])
+		return row, perf.Exit(perf.ExitVerification,
+			fmt.Errorf("bench-attack: %s: indexed journalist vector diverges from naive at row %d: %g vs %g",
+				name, i, vec[i], naiveVec[i]))
 	}
 	row.Speedup = speedup(row.NaiveMS, row.IndexedMS)
 	return row, nil

@@ -8,7 +8,13 @@
 //	anonbench -run E4
 //	anonbench -run all -n 5000 -ks 2,5,10,25,50 -seed 7
 //	anonbench -enginestats -n 10000 -ks 5
-//	anonbench -bench-attack -n 10000 -ks 5 -bench-attack-out BENCH_attack.json
+//	anonbench -bench-attack -n 10000 -ks 5 -bench-attack-out bench/attack.json
+//	anonbench -bench-suite=all -n 10000 -ks 5 -bench-out bench/full.json
+//
+// Exit codes follow the stable contract shared with benchdiff and compare
+// (see README "Exit codes"): 0 ok, 1 failure, 2 verification failure
+// (e.g. an indexed attack vector diverging from its naive reference),
+// 6 invalid input (bad flags, unknown experiment or suite names).
 //
 // Observability (see README "Observability" and "Live observability"):
 //
@@ -36,6 +42,7 @@ import (
 	"time"
 
 	"microdata"
+	"microdata/internal/telemetry/perf"
 )
 
 func main() {
@@ -49,6 +56,10 @@ func main() {
 
 		benchAtk    = flag.Bool("bench-attack", false, "time the record-linkage attack pipeline (naive vs indexed, serial vs parallel) on the census draw and write a JSON report")
 		benchAtkOut = flag.String("bench-attack-out", "BENCH_attack.json", "output path for the -bench-attack JSON report (\"-\" for stdout, \"\" to skip)")
+
+		benchSuiteSel  = flag.String("bench-suite", "", "run the named canonical benchmark suites (\"all\" or a comma list of attack,engine,groupby,ingest) and write a sealed perf pack")
+		benchSuiteOut  = flag.String("bench-out", "-", "output path for the -bench-suite perf pack (\"-\" for stdout)")
+		benchSuiteReps = flag.Int("bench-reps", 5, "timed repetitions per benchmark for -bench-suite")
 
 		verbose    = flag.Bool("v", false, "enable debug-level structured logging on stderr")
 		logFormat  = flag.String("log-format", "", "structured log format: text or json (implies logging even without -v)")
@@ -67,6 +78,7 @@ func main() {
 	if err := realMain(options{
 		list: *list, run: *run, n: *n, ks: *ks, seed: *seed, engStat: *engStat,
 		benchAttack: *benchAtk, benchAttackOut: *benchAtkOut,
+		benchSuite: *benchSuiteSel, benchSuiteOut: *benchSuiteOut, benchSuiteReps: *benchSuiteReps,
 		verbose: *verbose, logFormat: *logFormat,
 		traceOut: *traceOut, metricsOut: *metricsOut,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
@@ -74,7 +86,7 @@ func main() {
 		reportOut: *reportOut,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "anonbench:", err)
-		os.Exit(1)
+		os.Exit(perf.ExitCode(err))
 	}
 }
 
@@ -87,6 +99,9 @@ type options struct {
 	engStat                bool
 	benchAttack            bool
 	benchAttackOut         string
+	benchSuite             string
+	benchSuiteOut          string
+	benchSuiteReps         int
 	verbose                bool
 	logFormat              string
 	traceOut, metricsOut   string
@@ -102,7 +117,7 @@ type options struct {
 func realMain(o options) error {
 	kVals, err := parseKs(o.ks)
 	if err != nil {
-		return err
+		return perf.Exit(perf.ExitInvalid, err)
 	}
 	opts := microdata.ExperimentOptions{CensusN: o.n, Ks: kVals, Seed: o.seed}
 
@@ -187,6 +202,8 @@ func realMain(o options) error {
 		defer sp.End()
 
 		switch {
+		case o.benchSuite != "":
+			runErr = benchSuite(ctx, os.Stderr, o.benchSuite, o.benchSuiteOut, o.n, kVals[0], o.seed, o.benchSuiteReps)
 		case o.benchAttack:
 			runErr = benchAttack(ctx, os.Stdout, o.benchAttackOut, o.n, kVals[0], o.seed)
 		case o.engStat:
@@ -199,6 +216,10 @@ func realMain(o options) error {
 		case o.run == "all":
 			runErr = microdata.RunAllExperimentsContext(ctx, os.Stdout, opts)
 		default:
+			if !experimentExists(o.run, opts) {
+				runErr = perf.Invalidf("unknown experiment %q (see -list)", o.run)
+				return
+			}
 			runErr = microdata.RunExperimentContext(ctx, os.Stdout, o.run, opts)
 		}
 	}()
@@ -235,8 +256,19 @@ func realMain(o options) error {
 	return runErr
 }
 
+func experimentExists(id string, opts microdata.ExperimentOptions) bool {
+	for _, e := range microdata.Experiments(opts) {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
 func mode(o options) string {
 	switch {
+	case o.benchSuite != "":
+		return "bench-suite:" + o.benchSuite
 	case o.benchAttack:
 		return "bench-attack"
 	case o.engStat:

@@ -1,0 +1,114 @@
+// Command benchdiff compares two perf packs (see DESIGN.md "Perf packs")
+// and gates on regression drift. It verifies both packs' self-manifests,
+// runs the median/MAD comparator over every benchmark the baseline carries,
+// prints the per-metric drift table, and exits with a stable code scripts
+// and CI can branch on:
+//
+//	0  no drift (improvements and ungated health changes are fine)
+//	1  internal failure
+//	2  a pack failed manifest verification (edited after sealing, or unsealed)
+//	5  regression drift: a gated metric exceeded the noise envelope, or a
+//	   baseline benchmark is missing from the current pack
+//	6  invalid input (bad flags, unreadable or non-pack files)
+//
+// Usage:
+//
+//	benchdiff baseline.json current.json
+//	benchdiff -rel-threshold 0.5 -v bench/ci-baseline.json perf_ci.json
+//	benchdiff -verify-only pack.json
+//	benchdiff -skip-verify edited.json current.json   # drift-test unsealed edits
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"microdata/internal/telemetry/perf"
+)
+
+func main() {
+	var (
+		relThreshold = flag.Float64("rel-threshold", 0.25, "relative drift threshold (fraction of the baseline median)")
+		madFactor    = flag.Float64("mad-factor", 4, "baseline MAD multiplier widening the noise envelope")
+		gate         = flag.String("gate", "", "comma list of metrics whose drift fails the gate (default wall_ns,allocs)")
+		skipVerify   = flag.Bool("skip-verify", false, "skip manifest verification (compare packs edited after sealing)")
+		verifyOnly   = flag.Bool("verify-only", false, "verify a single pack's manifest and exit")
+		verbose      = flag.Bool("v", false, "print every metric row, including ungated health series")
+	)
+	flag.Parse()
+
+	if err := realMain(flag.Args(), *relThreshold, *madFactor, *gate, *skipVerify, *verifyOnly, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(perf.ExitCode(err))
+	}
+}
+
+func realMain(args []string, relThreshold, madFactor float64, gate string, skipVerify, verifyOnly, verbose bool) error {
+	if verifyOnly {
+		if len(args) != 1 {
+			return perf.Invalidf("-verify-only takes exactly one pack (got %d args)", len(args))
+		}
+		if err := perf.VerifyFile(args[0]); err != nil {
+			return err
+		}
+		fmt.Printf("%s: manifest ok\n", args[0])
+		return nil
+	}
+	if len(args) != 2 {
+		return perf.Invalidf("usage: benchdiff [flags] baseline.json current.json (got %d args)", len(args))
+	}
+	base, err := readPack(args[0], skipVerify)
+	if err != nil {
+		return err
+	}
+	cur, err := readPack(args[1], skipVerify)
+	if err != nil {
+		return err
+	}
+
+	opts := perf.CompareOptions{RelThreshold: relThreshold, MADFactor: madFactor}
+	if gate != "" {
+		for _, m := range strings.Split(gate, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				opts.Gated = append(opts.Gated, m)
+			}
+		}
+		if opts.Gated == nil {
+			return perf.Invalidf("-gate lists no metrics")
+		}
+	}
+	d, err := perf.Compare(base, cur, opts)
+	if err != nil {
+		return err
+	}
+	d.WriteTable(os.Stdout, verbose)
+	if !d.OK() {
+		return perf.Exit(perf.ExitDrift,
+			fmt.Errorf("regression drift: %d gated metrics drifted, %d baseline benchmarks missing", d.Drifted, len(d.Missing)))
+	}
+	return nil
+}
+
+// readPack loads a pack, verifying the self-manifest unless told not to.
+// With -skip-verify the document still has to be a well-formed pack of the
+// supported schema/version — only the integrity seal is waived.
+func readPack(path string, skipVerify bool) (*perf.Pack, error) {
+	if !skipVerify {
+		return perf.ReadFile(path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, perf.Invalidf("%v", err)
+	}
+	var p perf.Pack
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, perf.Invalidf("%s: parse pack: %v", path, err)
+	}
+	if p.Schema != perf.Schema || p.Version != perf.Version {
+		return nil, perf.Invalidf("%s: not a %s v%d document", path, perf.Schema, perf.Version)
+	}
+	return &p, nil
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"microdata/internal/telemetry/perf"
+)
+
+// writePack seals a one-benchmark pack with the given wall medians and
+// writes it under dir.
+func writePack(t *testing.T, dir, name string, wall []float64) string {
+	t.Helper()
+	p := &perf.Pack{
+		Schema: perf.Schema, Version: perf.Version, Suite: "synthetic", Reps: len(wall),
+		Benchmarks: []perf.Benchmark{{
+			Name: "synthetic/op",
+			Metrics: map[string]perf.Series{
+				perf.MetricWallNS: perf.NewSeries("ns", wall),
+			},
+		}},
+	}
+	path := filepath.Join(dir, name)
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func run(args ...string) error {
+	return realMain(args, 0.25, 4, "", false, false, false)
+}
+
+func TestExitCodeContract(t *testing.T) {
+	dir := t.TempDir()
+	base := writePack(t, dir, "base.json", []float64{100e6, 102e6, 98e6})
+	same := writePack(t, dir, "same.json", []float64{101e6, 99e6, 100e6})
+	worse := writePack(t, dir, "worse.json", []float64{200e6, 205e6, 198e6})
+
+	if err := run(base, same); perf.ExitCode(err) != perf.ExitOK {
+		t.Errorf("identical packs: exit %d (%v), want 0", perf.ExitCode(err), err)
+	}
+	if err := run(base, worse); perf.ExitCode(err) != perf.ExitDrift {
+		t.Errorf("doubled timings: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitDrift)
+	}
+	if err := run(base); perf.ExitCode(err) != perf.ExitInvalid {
+		t.Errorf("one arg: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitInvalid)
+	}
+	if err := run(base, filepath.Join(dir, "missing.json")); perf.ExitCode(err) != perf.ExitInvalid {
+		t.Errorf("missing file: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitInvalid)
+	}
+
+	notAPack := filepath.Join(dir, "other.json")
+	if err := os.WriteFile(notAPack, []byte(`{"schema":"something-else","version":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(base, notAPack); perf.ExitCode(err) != perf.ExitInvalid {
+		t.Errorf("wrong schema: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitInvalid)
+	}
+}
+
+func TestTamperedPackFailsVerification(t *testing.T) {
+	dir := t.TempDir()
+	base := writePack(t, dir, "base.json", []float64{100e6, 102e6, 98e6})
+	cur := writePack(t, dir, "cur.json", []float64{101e6, 99e6, 100e6})
+
+	// Hand-edit one timing digit after sealing.
+	raw, err := os.ReadFile(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := bytes.Replace(raw, []byte("99000000"), []byte("99000001"), 1)
+	if bytes.Equal(edited, raw) {
+		t.Fatalf("tamper target not found in %s", raw)
+	}
+	if err := os.WriteFile(cur, edited, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run(base, cur); perf.ExitCode(err) != perf.ExitVerification {
+		t.Errorf("tampered pack: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitVerification)
+	}
+	if err := realMain([]string{cur}, 0.25, 4, "", false, true, false); perf.ExitCode(err) != perf.ExitVerification {
+		t.Errorf("-verify-only on tampered pack: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitVerification)
+	}
+	// -skip-verify waives the seal so the comparator still runs (and the
+	// one-digit edit is well inside the envelope).
+	if err := realMain([]string{base, cur}, 0.25, 4, "", true, false, false); perf.ExitCode(err) != perf.ExitOK {
+		t.Errorf("-skip-verify on tampered pack: exit %d (%v), want 0", perf.ExitCode(err), err)
+	}
+}
+
+func TestCustomGate(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, goroutines float64) string {
+		p := &perf.Pack{
+			Schema: perf.Schema, Version: perf.Version, Suite: "synthetic", Reps: 1,
+			Benchmarks: []perf.Benchmark{{
+				Name: "synthetic/op",
+				Metrics: map[string]perf.Series{
+					perf.MetricWallNS:     perf.NewSeries("ns", []float64{100e6}),
+					perf.MetricGoroutines: perf.NewSeries("count", []float64{goroutines}),
+				},
+			}},
+		}
+		path := filepath.Join(dir, name)
+		if err := p.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := mk("base.json", 4)
+	cur := mk("cur.json", 400)
+
+	// Goroutines are ungated by default: no drift.
+	if err := run(base, cur); perf.ExitCode(err) != perf.ExitOK {
+		t.Errorf("default gate: exit %d (%v), want 0", perf.ExitCode(err), err)
+	}
+	// Gating on goroutines turns the 100x blowup into drift.
+	if err := realMain([]string{base, cur}, 0.25, 4, "goroutines", false, false, false); perf.ExitCode(err) != perf.ExitDrift {
+		t.Errorf("-gate goroutines: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitDrift)
+	}
+}

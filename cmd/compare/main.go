@@ -7,6 +7,10 @@
 //
 //	compare -orig census.csv -a mondrian.csv -b datafly.csv
 //	compare -paper            # compare the paper's T_3a, T_3b and T_4
+//
+// Exit codes follow the stable contract shared with anonbench and benchdiff
+// (see README "Exit codes"): 0 ok, 1 failure, 6 invalid input (bad flags,
+// unreadable files, tables that don't match the original's size).
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"os"
 
 	"microdata"
+	"microdata/internal/telemetry/perf"
 )
 
 func main() {
@@ -34,7 +39,7 @@ func main() {
 		h, err := microdata.NewLogHandler(os.Stderr, *logFormat, *verbose)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "compare:", err)
-			os.Exit(2)
+			os.Exit(perf.ExitInvalid)
 		}
 		microdata.SetLogHandler(h)
 	}
@@ -46,7 +51,7 @@ func main() {
 	}
 	if err := run(os.Stdout, *orig, *a, *b, *paper); err != nil {
 		fmt.Fprintln(os.Stderr, "compare:", err)
-		os.Exit(1)
+		os.Exit(perf.ExitCode(err))
 	}
 }
 
@@ -59,7 +64,7 @@ func run(w io.Writer, origPath, aPath, bPath string, paper bool) error {
 		return comparePair(w, "T_3b", "T_4", orig, microdata.PaperT3b(), microdata.PaperT4(), nil)
 	}
 	if origPath == "" || aPath == "" || bPath == "" {
-		return fmt.Errorf("need -orig, -a and -b (or -paper)")
+		return perf.Invalidf("need -orig, -a and -b (or -paper)")
 	}
 	orig, err := readCensus(origPath)
 	if err != nil {
@@ -79,15 +84,19 @@ func run(w io.Writer, origPath, aPath, bPath string, paper bool) error {
 func readCensus(path string) (*microdata.Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, perf.Exit(perf.ExitInvalid, err)
 	}
 	defer f.Close()
-	return microdata.ReadCSV(f, microdata.CensusSchema())
+	t, err := microdata.ReadCSV(f, microdata.CensusSchema())
+	if err != nil {
+		return nil, perf.Exit(perf.ExitInvalid, fmt.Errorf("%s: %w", path, err))
+	}
+	return t, nil
 }
 
 func comparePair(w io.Writer, nameA, nameB string, orig, ta, tb *microdata.Table, taxonomies map[string]*microdata.Taxonomy) error {
 	if ta.Len() != orig.Len() || tb.Len() != orig.Len() {
-		return fmt.Errorf("tables must have the original's size (suppressed tuples stay as '*')")
+		return perf.Invalidf("tables must have the original's size (suppressed tuples stay as '*')")
 	}
 	pa, err := microdata.PartitionTable(ta)
 	if err != nil {

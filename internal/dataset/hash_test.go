@@ -1,0 +1,77 @@
+package dataset
+
+import "testing"
+
+func hashTestTable(t *testing.T) *Table {
+	t.Helper()
+	s, err := NewSchema(
+		Attribute{Name: "age", Kind: Numeric, Role: QuasiIdentifier},
+		Attribute{Name: "zip", Kind: Categorical, Role: QuasiIdentifier},
+		Attribute{Name: "disease", Kind: Categorical, Role: Sensitive},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable(s)
+	tab.MustAppend(NumVal(30), StrVal("021*"), StrVal("flu"))
+	tab.MustAppend(NumVal(41), StrVal("022*"), StrVal("cold"))
+	return tab
+}
+
+func TestHashDeterministicAndBackingIndependent(t *testing.T) {
+	a := hashTestTable(t)
+	b := hashTestTable(t)
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Errorf("identical tables hash differently: %s vs %s", ha, hb)
+	}
+	if len(ha) != 64 {
+		t.Errorf("hash is not sha256 hex: %q", ha)
+	}
+	// Materializing the columnar backing must not change the hash.
+	b.Columnar()
+	hc, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc != ha {
+		t.Errorf("columnar backing changed the hash: %s vs %s", hc, ha)
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	a := hashTestTable(t)
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single cell change changes the hash.
+	b := hashTestTable(t)
+	b.Rows[1][0] = NumVal(42)
+	b.InvalidateColumns()
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb == ha {
+		t.Error("cell edit did not change the hash")
+	}
+	// A role change (same cell text) changes the hash too.
+	c := hashTestTable(t)
+	c.Schema = c.Schema.Clone()
+	c.Schema.Attrs[1].Role = Insensitive
+	hc, err := c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Error("schema role change did not change the hash")
+	}
+}

@@ -91,7 +91,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // handleMetrics serves the active collector's registry in Prometheus text
 // format, followed by progress.* gauges derived from the live tracker tree
-// and a handful of process-level series, so a scrape is never empty.
+// and the go.* runtime-health gauges (runtime/metrics sampled at scrape
+// time: heap, GC pause, goroutines, scheduler latency), so a scrape is
+// never empty.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", export.ContentType)
 	if c := telemetry.Active(); c != nil && c.Metrics != nil {
@@ -99,15 +101,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			return
 		}
 	}
-	extra := telemetry.Snapshot{Gauges: map[string]float64{
-		"process.uptime.seconds": time.Since(s.start).Seconds(),
-		"go.goroutines":          float64(runtime.NumGoroutine()),
-		"go.gomaxprocs":          float64(runtime.GOMAXPROCS(0)),
-	}}
-	var mem runtime.MemStats
-	runtime.ReadMemStats(&mem)
-	extra.Gauges["go.heap.alloc.bytes"] = float64(mem.HeapAlloc)
-	extra.Gauges["go.gc.cycles"] = float64(mem.NumGC)
+	extra := telemetry.Snapshot{Gauges: telemetry.ReadRuntimeStats().Gauges()}
+	extra.Gauges["process.uptime.seconds"] = time.Since(s.start).Seconds()
 	if root := progress.Active(); root != nil {
 		flattenProgress(extra.Gauges, "progress", root.Snapshot())
 	}

@@ -83,6 +83,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"progress_test_run_engine_evaluate_all_done 40",
 		"process_uptime_seconds",
 		"go_goroutines",
+		"go_heap_objects_bytes",
+		"go_gc_pause_total_seconds",
+		"go_sched_latency_p99_seconds",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q in:\n%s", want, body)

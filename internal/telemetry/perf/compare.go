@@ -1,0 +1,248 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Verdict classifies one metric's change between two packs.
+type Verdict string
+
+const (
+	// VerdictOK: within the noise envelope.
+	VerdictOK Verdict = "ok"
+	// VerdictImproved: significantly better (lower) than the baseline.
+	VerdictImproved Verdict = "improved"
+	// VerdictDrifted: significantly worse (higher) than the baseline.
+	VerdictDrifted Verdict = "drifted"
+	// VerdictInvalid: not comparable (NaN median on either side) — counted
+	// as drift, since a benchmark that stops producing numbers is broken.
+	VerdictInvalid Verdict = "invalid"
+	// VerdictInfo: an ungated health metric, reported but never failing.
+	VerdictInfo Verdict = "info"
+)
+
+// DefaultGated is the metric set whose drift fails the gate; the remaining
+// series (GC pause, heap, goroutines, scheduler latency) are health
+// context.
+var DefaultGated = []string{MetricWallNS, MetricAllocs}
+
+// CompareOptions tunes the significance test. A gated metric drifts when
+// the current median exceeds the baseline median by more than the noise
+// envelope max(RelThreshold·baseline, MADFactor·MAD(baseline), AbsFloor);
+// it improves when it undercuts the baseline by the same margin.
+type CompareOptions struct {
+	// RelThreshold is the relative significance threshold (default 0.25:
+	// ±25% of the baseline median is noise).
+	RelThreshold float64
+	// MADFactor scales the baseline's median absolute deviation into the
+	// envelope (default 4) so noisy benchmarks get wider bands.
+	MADFactor float64
+	// AbsFloor maps metric name → absolute envelope floor, shielding
+	// microbenchmarks whose run-to-run jitter is large relative to tiny
+	// medians. Defaults: wall_ns 2e6 (2 ms), allocs 256.
+	AbsFloor map[string]float64
+	// Gated selects the metrics whose drift fails the gate (default
+	// DefaultGated); everything else reports as info.
+	Gated []string
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.RelThreshold <= 0 {
+		o.RelThreshold = 0.25
+	}
+	if o.MADFactor <= 0 {
+		o.MADFactor = 4
+	}
+	if o.AbsFloor == nil {
+		o.AbsFloor = map[string]float64{MetricWallNS: 2e6, MetricAllocs: 256}
+	}
+	if o.Gated == nil {
+		o.Gated = DefaultGated
+	}
+	return o
+}
+
+// MetricDiff is one (benchmark, metric) comparison row.
+type MetricDiff struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"`
+	Unit      string  `json:"unit,omitempty"`
+	Base      float64 `json:"base_median"`
+	BaseMAD   float64 `json:"base_mad"`
+	Cur       float64 `json:"cur_median"`
+	// Ratio is cur/base (NaN when base is zero).
+	Ratio   float64 `json:"ratio"`
+	Verdict Verdict `json:"verdict"`
+}
+
+// Diff is the full comparison of two packs.
+type Diff struct {
+	BaseSuite string       `json:"base_suite"`
+	CurSuite  string       `json:"cur_suite"`
+	Rows      []MetricDiff `json:"rows"`
+	// Missing lists benchmarks present in the baseline but absent from the
+	// current pack — a silently dropped benchmark fails the gate.
+	Missing []string `json:"missing,omitempty"`
+	// EnvChanges lists fingerprint fields that differ between the packs.
+	EnvChanges []string `json:"env_changes,omitempty"`
+	Drifted    int      `json:"drifted"`
+	Improved   int      `json:"improved"`
+}
+
+// OK reports whether the gate passes: no drifted/invalid gated metrics and
+// no missing benchmarks.
+func (d *Diff) OK() bool { return d.Drifted == 0 && len(d.Missing) == 0 }
+
+// Compare evaluates cur against base benchmark-by-benchmark. Benchmarks
+// only in cur are ignored (new benchmarks are legal); benchmarks only in
+// base are recorded as missing and fail the gate.
+func Compare(base, cur *Pack, opts CompareOptions) (*Diff, error) {
+	if base == nil || cur == nil {
+		return nil, Invalidf("perf: compare: nil pack")
+	}
+	opts = opts.withDefaults()
+	d := &Diff{BaseSuite: base.Suite, CurSuite: cur.Suite, EnvChanges: envChanges(base.Env, cur.Env)}
+	gated := map[string]bool{}
+	for _, m := range opts.Gated {
+		gated[m] = true
+	}
+	for _, bb := range base.Benchmarks {
+		cb := cur.Benchmark(bb.Name)
+		if cb == nil {
+			d.Missing = append(d.Missing, bb.Name)
+			continue
+		}
+		for _, metric := range sortedMetricNames(bb.Metrics) {
+			bs := bb.Metrics[metric]
+			cs, ok := cb.Metrics[metric]
+			if !ok {
+				continue
+			}
+			row := MetricDiff{
+				Benchmark: bb.Name, Metric: metric, Unit: bs.Unit,
+				Base: bs.Median, BaseMAD: bs.MAD, Cur: cs.Median,
+				Ratio: ratio(bs.Median, cs.Median),
+			}
+			if !gated[metric] {
+				row.Verdict = VerdictInfo
+			} else {
+				row.Verdict = classify(bs, cs, metric, opts)
+				switch row.Verdict {
+				case VerdictDrifted, VerdictInvalid:
+					d.Drifted++
+				case VerdictImproved:
+					d.Improved++
+				}
+			}
+			d.Rows = append(d.Rows, row)
+		}
+	}
+	return d, nil
+}
+
+// classify applies the noise-envelope test to one gated metric.
+func classify(base, cur Series, metric string, opts CompareOptions) Verdict {
+	if math.IsNaN(base.Median) || math.IsNaN(cur.Median) {
+		return VerdictInvalid
+	}
+	envelope := opts.RelThreshold * math.Abs(base.Median)
+	if mad := opts.MADFactor * base.MAD; !math.IsNaN(mad) && mad > envelope {
+		envelope = mad
+	}
+	if floor := opts.AbsFloor[metric]; floor > envelope {
+		envelope = floor
+	}
+	delta := cur.Median - base.Median
+	switch {
+	case delta > envelope:
+		return VerdictDrifted
+	case delta < -envelope:
+		return VerdictImproved
+	default:
+		return VerdictOK
+	}
+}
+
+func ratio(base, cur float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return cur / base
+}
+
+func sortedMetricNames(m map[string]Series) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// envChanges lists human-readable fingerprint differences.
+func envChanges(a, b Env) []string {
+	var out []string
+	diff := func(field, av, bv string) {
+		if av != bv {
+			out = append(out, fmt.Sprintf("%s: %s -> %s", field, orDash(av), orDash(bv)))
+		}
+	}
+	diff("go_version", a.GoVersion, b.GoVersion)
+	diff("goos/goarch", a.GOOS+"/"+a.GOARCH, b.GOOS+"/"+b.GOARCH)
+	diff("gomaxprocs", fmt.Sprint(a.GOMAXPROCS), fmt.Sprint(b.GOMAXPROCS))
+	diff("cpu_model", a.CPUModel, b.CPUModel)
+	diff("git_revision", a.GitRevision, b.GitRevision)
+	diff("dataset_hash", a.DatasetHash, b.DatasetHash)
+	diff("n/k/seed", fmt.Sprintf("%d/%d/%d", a.N, a.K, a.Seed), fmt.Sprintf("%d/%d/%d", b.N, b.K, b.Seed))
+	return out
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// WriteTable renders the per-metric drift table. With verbose false only
+// gated and non-ok rows print; with verbose true every row prints.
+func (d *Diff) WriteTable(w io.Writer, verbose bool) {
+	for _, ch := range d.EnvChanges {
+		fmt.Fprintf(w, "env: %s\n", ch)
+	}
+	fmt.Fprintf(w, "%-48s %-12s %14s %14s %8s  %s\n",
+		"benchmark", "metric", "base", "current", "ratio", "verdict")
+	for _, r := range d.Rows {
+		if !verbose && r.Verdict == VerdictInfo {
+			continue
+		}
+		ratio := "-"
+		if !math.IsNaN(r.Ratio) {
+			ratio = fmt.Sprintf("%.2fx", r.Ratio)
+		}
+		fmt.Fprintf(w, "%-48s %-12s %14s %14s %8s  %s\n",
+			r.Benchmark, r.Metric, fmtMetric(r.Base, r.Unit), fmtMetric(r.Cur, r.Unit), ratio, r.Verdict)
+	}
+	for _, m := range d.Missing {
+		fmt.Fprintf(w, "%-48s %-12s %14s %14s %8s  %s\n", m, "-", "-", "-", "-", "missing")
+	}
+	fmt.Fprintf(w, "verdict: %d drifted, %d improved, %d missing\n",
+		d.Drifted, d.Improved, len(d.Missing))
+}
+
+func fmtMetric(v float64, unit string) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	if unit == "ns" {
+		return fmtNS(v)
+	}
+	if v >= 1e6 {
+		return fmt.Sprintf("%.3gM", v/1e6)
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}

@@ -1,0 +1,183 @@
+package perf
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixturePack builds a fully deterministic pack (no timestamps, no
+// captured environment) for the golden and manifest tests.
+func fixturePack() *Pack {
+	return &Pack{
+		Schema:        Schema,
+		Version:       Version,
+		Suite:         "attack",
+		Reps:          3,
+		CreatedUnixMS: 1754600000000,
+		Env: Env{
+			GoVersion: "go1.22.0", GOOS: "linux", GOARCH: "amd64",
+			GOMAXPROCS: 4, NumCPU: 4,
+			DatasetHash: "ab12", Seed: 1, N: 1000, K: 5,
+		},
+		Benchmarks: []Benchmark{
+			{
+				Name: "attack/prosecutor/datafly/indexed-serial",
+				Metrics: map[string]Series{
+					MetricWallNS: NewSeries("ns", []float64{1900000, 2000000, 2100000}),
+					MetricAllocs: NewSeries("count", []float64{1200, 1200, 1201}),
+				},
+			},
+			{
+				Name: "attack/journalist/mondrian/indexed",
+				Metrics: map[string]Series{
+					MetricWallNS: NewSeries("ns", []float64{35000000, 34000000, 36000000}),
+				},
+			},
+		},
+	}
+}
+
+// goldenPackJSON pins the canonical serialization byte-for-byte: sorted
+// keys, no whitespace, benchmarks sorted by name, manifest last
+// alphabetically among top-level keys it sorts into place.
+const goldenPackJSON = `{"benchmarks":[{"metrics":{"wall_ns":{"mad":1000000,"median":35000000,"samples":[35000000,34000000,36000000],"unit":"ns"}},"name":"attack/journalist/mondrian/indexed"},{"metrics":{"allocs":{"mad":0,"median":1200,"samples":[1200,1200,1201],"unit":"count"},"wall_ns":{"mad":100000,"median":2000000,"samples":[1900000,2000000,2100000],"unit":"ns"}},"name":"attack/prosecutor/datafly/indexed-serial"}],"created_unix_ms":1754600000000,"env":{"dataset_hash":"ab12","go_version":"go1.22.0","goarch":"amd64","gomaxprocs":4,"goos":"linux","k":5,"n":1000,"num_cpu":4,"seed":1},"manifest":{"algorithm":"sha256","digest":"DIGEST"},"reps":3,"schema":"microdata/perf-pack","suite":"attack","version":1}`
+
+func TestPackCanonicalGolden(t *testing.T) {
+	p := fixturePack()
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteCanonical(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSuffix(buf.String(), "\n")
+	want := strings.Replace(goldenPackJSON, "DIGEST", p.Manifest.Digest, 1)
+	if got != want {
+		t.Errorf("canonical pack JSON drifted from golden:\n got: %s\nwant: %s", got, want)
+	}
+	// Sealing is deterministic: a second seal of the same content yields
+	// the same digest.
+	d1 := p.Manifest.Digest
+	if err := p.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Manifest.Digest != d1 {
+		t.Errorf("re-seal changed digest: %s vs %s", p.Manifest.Digest, d1)
+	}
+	if len(d1) != 64 {
+		t.Errorf("digest is not a sha256 hex string: %q", d1)
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	raw := []byte(`{"b": 2, "a": {"z": [3, 1.5, "x<y"], "m": null}, "c": true}`)
+	c1, err := Canonicalize(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Canonicalize(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("canonicalize not idempotent:\n1: %s\n2: %s", c1, c2)
+	}
+	want := `{"a":{"m":null,"z":[3,1.5,"x<y"]},"b":2,"c":true}`
+	if string(c1) != want {
+		t.Errorf("canonical form = %s, want %s", c1, want)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	p := fixturePack()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pack.json")
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// A sealed pack read back verifies and round-trips its content.
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("read sealed pack: %v", err)
+	}
+	if got.Suite != "attack" || got.Reps != 3 || len(got.Benchmarks) != 2 {
+		t.Errorf("round-trip lost content: %+v", got)
+	}
+	if got.Manifest == nil || got.Manifest.Digest != p.Manifest.Digest {
+		t.Errorf("round-trip manifest mismatch")
+	}
+	if err := VerifyFile(path); err != nil {
+		t.Fatalf("verify sealed pack: %v", err)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	p := fixturePack()
+	var buf bytes.Buffer
+	if err := p.WriteCanonical(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-edit one timing digit: 35000000 -> 35000001.
+	tampered := bytes.Replace(buf.Bytes(), []byte("35000000"), []byte("35000001"), 1)
+	if bytes.Equal(tampered, buf.Bytes()) {
+		t.Fatal("tamper target not found")
+	}
+	err := VerifyRaw(tampered)
+	if err == nil {
+		t.Fatal("verification passed on tampered pack")
+	}
+	if ExitCode(err) != ExitVerification {
+		t.Errorf("tampered pack exit code = %d, want %d", ExitCode(err), ExitVerification)
+	}
+	// The untampered document still verifies.
+	if err := VerifyRaw(buf.Bytes()); err != nil {
+		t.Fatalf("verify untampered: %v", err)
+	}
+	// A pack with no manifest carries no integrity claim.
+	unsealed := fixturePack()
+	raw, err := CanonicalMarshal(unsealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ExitCode(VerifyRaw(raw)); got != ExitVerification {
+		t.Errorf("unsealed pack exit code = %d, want %d", got, ExitVerification)
+	}
+}
+
+func TestReadRejectsWrongSchema(t *testing.T) {
+	for _, raw := range []string{
+		`{"schema":"something/else","version":1}`,
+		`{"schema":"microdata/perf-pack","version":99}`,
+		`not json`,
+	} {
+		_, err := Read([]byte(raw))
+		if err == nil {
+			t.Errorf("Read(%q) accepted invalid input", raw)
+			continue
+		}
+		if got := ExitCode(err); got != ExitInvalid {
+			t.Errorf("Read(%q) exit code = %d, want %d", raw, got, ExitInvalid)
+		}
+	}
+}
+
+func TestExitCodeMapping(t *testing.T) {
+	if got := ExitCode(nil); got != ExitOK {
+		t.Errorf("nil -> %d", got)
+	}
+	if got := ExitCode(errors.New("boom")); got != ExitFailure {
+		t.Errorf("plain error -> %d", got)
+	}
+	wrapped := Exit(ExitDrift, errors.New("drifted"))
+	if got := ExitCode(wrapped); got != ExitDrift {
+		t.Errorf("drift error -> %d", got)
+	}
+	// The code survives further wrapping.
+	if got := ExitCode(errors.Join(errors.New("ctx"), wrapped)); got != ExitDrift {
+		t.Errorf("wrapped drift error -> %d", got)
+	}
+}

@@ -52,6 +52,11 @@ type Report struct {
 	// Progress is the final progress-tracker tree (totals of every live
 	// tracker plus finished-children aggregates).
 	Progress *progress.Node `json:"progress,omitempty"`
+	// Runtime holds the go.* runtime-health gauges (heap, GC pause total,
+	// goroutines, scheduler latency) sampled from runtime/metrics at
+	// report-assembly time — the same series the debug server's /metrics
+	// endpoint exposes. Additive in schema v1.
+	Runtime map[string]float64 `json:"runtime,omitempty"`
 	// Metrics is the full end-of-run snapshot of the process-wide registry.
 	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
@@ -102,6 +107,7 @@ func (b *Builder) Finish(col *telemetry.Collector, root *progress.Tracker) *Repo
 		DurationMS: float64(time.Since(b.start)) / float64(time.Millisecond),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Runtime:    telemetry.ReadRuntimeStats().Gauges(),
 	}
 	if col != nil && col.Metrics != nil {
 		snap := col.Metrics.Snapshot()

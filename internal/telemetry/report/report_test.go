@@ -78,6 +78,14 @@ func TestReportShape(t *testing.T) {
 	if r.Progress == nil || r.Progress.Name != "bench" || r.Progress.FinishedChildrenDone != 10 {
 		t.Errorf("progress = %+v", r.Progress)
 	}
+	for _, gauge := range []string{"go.goroutines", "go.heap.objects.bytes", "go.gc.pause.total.seconds"} {
+		if _, ok := r.Runtime[gauge]; !ok {
+			t.Errorf("runtime gauges missing %q: %v", gauge, r.Runtime)
+		}
+	}
+	if r.Runtime["go.goroutines"] < 1 {
+		t.Errorf("go.goroutines = %v, want >= 1", r.Runtime["go.goroutines"])
+	}
 }
 
 // TestReportOmitsAbsentSubsystems: without the sentinel counters the engine
