@@ -53,11 +53,12 @@ func main() {
 		ks      = flag.String("ks", "2,5,10,25,50", "comma-separated k sweep for E14/E15")
 		seed    = flag.Int64("seed", 1, "seed for the census draw and stochastic algorithms")
 		engStat = flag.Bool("enginestats", false, "run every algorithm once on the census draw (first k of -ks) and print the evaluation-engine counters")
+		workers = flag.Int("workers", 0, "worker goroutines for the parallel kernels (engine node evaluation, attack shards, morsel-driven group-by, typed-column reductions); 0 = GOMAXPROCS")
 
 		benchAtk    = flag.Bool("bench-attack", false, "time the record-linkage attack pipeline (naive vs indexed, serial vs parallel) on the census draw and write a JSON report")
 		benchAtkOut = flag.String("bench-attack-out", "BENCH_attack.json", "output path for the -bench-attack JSON report (\"-\" for stdout, \"\" to skip)")
 
-		benchSuiteSel  = flag.String("bench-suite", "", "run the named canonical benchmark suites (\"all\" or a comma list of attack,engine,groupby,ingest) and write a sealed perf pack")
+		benchSuiteSel  = flag.String("bench-suite", "", "run the named canonical benchmark suites (\"all\" or a comma list of attack,engine,groupby,groupby-parallel,ingest,typedcol) and write a sealed perf pack")
 		benchSuiteOut  = flag.String("bench-out", "-", "output path for the -bench-suite perf pack (\"-\" for stdout)")
 		benchSuiteReps = flag.Int("bench-reps", 5, "timed repetitions per benchmark for -bench-suite")
 
@@ -74,6 +75,7 @@ func main() {
 		reportOut  = flag.String("report", "", "write the unified JSON run report to this file (\"-\" for stdout)")
 	)
 	flag.Parse()
+	microdata.SetDefaultWorkers(*workers)
 
 	if err := realMain(options{
 		list: *list, run: *run, n: *n, ks: *ks, seed: *seed, engStat: *engStat,

@@ -32,11 +32,14 @@ func main() {
 		sup   = flag.Float64("sup", 0.05, "maximum suppression fraction")
 		seed  = flag.Int64("seed", 1, "seed for -gen and stochastic algorithms")
 
+		workers = flag.Int("workers", 0, "worker goroutines for the parallel kernels (engine node evaluation, attack shards, morsel-driven group-by); 0 = GOMAXPROCS")
+
 		verbose   = flag.Bool("v", false, "enable debug-level structured logging on stderr")
 		logFormat = flag.String("log-format", "", "structured log format: text or json (implies logging even without -v)")
 		progress  = flag.Bool("progress", false, "render live progress (done/total, rate, ETA) on stderr")
 	)
 	flag.Parse()
+	microdata.SetDefaultWorkers(*workers)
 	if *verbose || *logFormat != "" {
 		h, err := microdata.NewLogHandler(os.Stderr, *logFormat, *verbose)
 		if err != nil {
@@ -74,7 +77,7 @@ func run(in string, gen int, out, algName string, k int, sup float64, seed int64
 			return err
 		}
 		defer f.Close()
-		tab, err = microdata.ReadCSV(f, microdata.CensusSchema())
+		tab, err = microdata.IngestCSVTable(f, microdata.CensusSchema())
 		if err != nil {
 			return err
 		}

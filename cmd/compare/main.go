@@ -30,11 +30,14 @@ func main() {
 		b     = flag.String("b", "", "second anonymization CSV")
 		paper = flag.Bool("paper", false, "compare the paper's published tables instead of files")
 
+		workers = flag.Int("workers", 0, "worker goroutines for the parallel kernels (group-by, attack shards); 0 = GOMAXPROCS")
+
 		verbose   = flag.Bool("v", false, "enable debug-level structured logging on stderr")
 		logFormat = flag.String("log-format", "", "structured log format: text or json (implies logging even without -v)")
 		progress  = flag.Bool("progress", false, "render live progress (done/total, rate, ETA) on stderr")
 	)
 	flag.Parse()
+	microdata.SetDefaultWorkers(*workers)
 	if *verbose || *logFormat != "" {
 		h, err := microdata.NewLogHandler(os.Stderr, *logFormat, *verbose)
 		if err != nil {

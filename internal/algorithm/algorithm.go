@@ -84,6 +84,12 @@ type Config struct {
 	// (Machanavajjhala et al.). Requires a sensitive attribute.
 	RecursiveC float64
 	RecursiveL int
+	// Workers, when > 0, caps the worker goroutines of the parallel
+	// kernels a run fans out over (engine EvaluateAll and the morsel-driven
+	// group-by beneath it). 0 defers to the module-wide default
+	// (kernels.DefaultWorkers: GOMAXPROCS unless the shared -workers
+	// setting overrides it).
+	Workers int
 }
 
 // hasDiversityConstraints reports whether any secondary privacy property

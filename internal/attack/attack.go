@@ -37,7 +37,6 @@ package attack
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -48,6 +47,7 @@ import (
 	"microdata/internal/dataset"
 	"microdata/internal/eqclass"
 	"microdata/internal/hierarchy"
+	"microdata/internal/kernels"
 	"microdata/internal/telemetry"
 	"microdata/internal/telemetry/progress"
 )
@@ -94,15 +94,16 @@ func NewAdversary(anon *dataset.Table, taxonomies map[string]*hierarchy.Taxonomy
 }
 
 // SetWorkers caps the number of goroutines the risk vectors fan out over;
-// n <= 0 restores the default (runtime.GOMAXPROCS). Call before the first
-// attack — the setting is not synchronized.
+// n <= 0 restores the default (the module-wide kernels.DefaultWorkers,
+// itself GOMAXPROCS unless the shared -workers setting overrides it). Call
+// before the first attack — the setting is not synchronized.
 func (a *Adversary) SetWorkers(n int) { a.workers = n }
 
 func (a *Adversary) workerCount() int {
 	if a.workers > 0 {
 		return a.workers
 	}
-	return runtime.GOMAXPROCS(0)
+	return kernels.DefaultWorkers()
 }
 
 // covers reports whether the generalized cell g is consistent with the

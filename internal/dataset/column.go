@@ -18,18 +18,24 @@ import (
 // so full-column numeric scans (ranges, sorts, the permutation-model
 // measures queued on the roadmap) run on flat float data.
 //
-// A Column is built by appending (single-goroutine) and is safe for
-// concurrent reads once built.
+// Concurrency contract: a Column has a SINGLE writer while it is being
+// built (Append/Grow, one goroutine) and becomes safe for any number of
+// concurrent readers once building stops. The lazily materialized views
+// (Values, Float64View, Int64View) are internally synchronized and may be
+// requested concurrently by readers, but never while a writer is still
+// appending.
 type Column struct {
-	codes []uint32
-	dict  []Value
-	keys  []string // dict-aligned canonical Value.Key strings
-	index map[string]uint32
-	nums  []float64 // dict-aligned float payload; meaningful iff allNum
+	codes  []uint32
+	dict   []Value
+	keys   []string // dict-aligned canonical Value.Key strings
+	index  map[string]uint32
+	nums   []float64 // dict-aligned float payload; meaningful iff allNum
 	allNum bool
 
 	mu     sync.Mutex
-	values []Value // lazily materialized row-aligned view; treat as read-only
+	values []Value        // lazily materialized row-aligned view; treat as read-only
+	f64    *Float64Column // lazily materialized typed view, iff IsNumeric
+	i64    *Int64Column   // lazily materialized typed view, iff integral
 }
 
 // NewColumn returns an empty dictionary-encoded column.
@@ -105,6 +111,69 @@ func (c *Column) Floats() ([]float64, bool) {
 	return out, true
 }
 
+// Grow reserves capacity for n more rows in the code vector, so bulk
+// ingest paths with a known chunk size avoid repeated slice regrowth.
+// Single-writer, like Append.
+func (c *Column) Grow(n int) {
+	if n <= cap(c.codes)-len(c.codes) {
+		return
+	}
+	need := len(c.codes) + n
+	newcap := cap(c.codes) + cap(c.codes)/2
+	if newcap < need {
+		newcap = need
+	}
+	codes := make([]uint32, len(c.codes), newcap)
+	copy(codes, c.codes)
+	c.codes = codes
+}
+
+// Float64View returns the column as a typed Float64Column — the flat
+// non-dictionary numeric fast path — materialized at most once and cached.
+// ok is false when the column is not purely numeric. The typed column
+// shares no mutable state with the dictionary view; treat it as read-only.
+func (c *Column) Float64View() (*Float64Column, bool) {
+	if !c.IsNumeric() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f64 == nil || c.f64.Len() != len(c.codes) {
+		vals := make([]float64, len(c.codes))
+		for i, code := range c.codes {
+			vals[i] = c.nums[code]
+		}
+		c.f64 = Float64ColumnOf(vals)
+	}
+	return c.f64, true
+}
+
+// Int64View returns the column as a typed Int64Column, cached like
+// Float64View; ok is false unless every value is an integral float64
+// exactly representable as int64.
+func (c *Column) Int64View() (*Int64Column, bool) {
+	if !c.IsNumeric() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.i64 != nil && c.i64.Len() == len(c.codes) {
+		return c.i64, true
+	}
+	const maxExact = 1 << 53
+	for _, f := range c.nums {
+		if f != float64(int64(f)) || f >= maxExact || f <= -maxExact {
+			return nil, false
+		}
+	}
+	vals := make([]int64, len(c.codes))
+	for i, code := range c.codes {
+		vals[i] = int64(c.nums[code])
+	}
+	c.i64 = Int64ColumnOf(vals)
+	return c.i64, true
+}
+
 // Values returns a row-aligned []Value view of the column, materialized at
 // most once and cached. The slice is shared across callers; treat it as
 // read-only.
@@ -163,6 +232,15 @@ func (c *Columnar) ColByName(name string) (*Column, error) {
 
 // At returns the cell at row i, column j.
 func (c *Columnar) At(i, j int) Value { return c.cols[j].Value(i) }
+
+// Grow reserves capacity for n more rows in every column, so chunked
+// ingest with a known size estimate avoids per-column slice regrowth.
+// Single-writer, like AppendRow.
+func (c *Columnar) Grow(n int) {
+	for _, col := range c.cols {
+		col.Grow(n)
+	}
+}
 
 // AppendRow adds a row after validating its width.
 func (c *Columnar) AppendRow(row []Value) error {

@@ -1,0 +1,317 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"microdata/internal/kernels"
+)
+
+func TestFloat64ColumnBasics(t *testing.T) {
+	c := NewFloat64Column(4)
+	if c.Len() != 0 {
+		t.Fatalf("fresh Len = %d", c.Len())
+	}
+	for _, v := range []float64{3, 1, 2} {
+		c.Append(v)
+	}
+	if c.Len() != 3 || c.At(1) != 1 {
+		t.Fatalf("Len=%d At(1)=%v", c.Len(), c.At(1))
+	}
+	c.Grow(1000)
+	if cap(c.Values()) < 1003 {
+		t.Fatalf("Grow(1000) cap = %d", cap(c.Values()))
+	}
+	if c.Len() != 3 || c.At(0) != 3 || c.At(2) != 2 {
+		t.Fatalf("Grow corrupted contents: len=%d", c.Len())
+	}
+}
+
+func TestFloat64ColumnMinMax(t *testing.T) {
+	if _, _, ok := NewFloat64Column(0).MinMax(); ok {
+		t.Error("empty column: ok should be false")
+	}
+	if _, _, ok := Float64ColumnOf([]float64{math.NaN(), math.NaN()}).MinMax(); ok {
+		t.Error("all-NaN column: ok should be false")
+	}
+	lo, hi, ok := Float64ColumnOf([]float64{2, math.NaN(), -7, 13}).MinMax()
+	if !ok || lo != -7 || hi != 13 {
+		t.Fatalf("MinMax = %v %v %v, want -7 13 true", lo, hi, ok)
+	}
+	if v, ok := Float64ColumnOf([]float64{5, 1}).Min(); !ok || v != 1 {
+		t.Fatalf("Min = %v %v", v, ok)
+	}
+	if v, ok := Float64ColumnOf([]float64{5, 1}).Max(); !ok || v != 5 {
+		t.Fatalf("Max = %v %v", v, ok)
+	}
+}
+
+// TestFloat64ColumnSumDeterministic pins the determinism contract: the
+// morsel-order fold makes Sum (and hence Mean) bit-identical for every
+// worker count, even though float addition is not associative.
+func TestFloat64ColumnSumDeterministic(t *testing.T) {
+	defer kernels.SetDefaultWorkers(0)
+	rng := rand.New(rand.NewSource(8))
+	n := 3*kernels.MorselRows + 4321 // several morsels plus a ragged tail
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)))
+	}
+	c := Float64ColumnOf(vals)
+
+	kernels.SetDefaultWorkers(1)
+	want := c.Sum()
+	for _, w := range []int{2, 3, 8, 16} {
+		kernels.SetDefaultWorkers(w)
+		if got := c.Sum(); got != want {
+			t.Fatalf("workers=%d: Sum %v != %v (must be bit-identical)", w, got, want)
+		}
+	}
+
+	small := Float64ColumnOf([]float64{1.5, 2.5, -1})
+	if got := small.Sum(); got != 3 {
+		t.Fatalf("small Sum = %v", got)
+	}
+	if m, ok := small.Mean(); !ok || m != 1 {
+		t.Fatalf("Mean = %v %v", m, ok)
+	}
+	if _, ok := NewFloat64Column(0).Mean(); ok {
+		t.Error("empty Mean: ok should be false")
+	}
+}
+
+func TestFloat64ColumnRanks(t *testing.T) {
+	got := Float64ColumnOf([]float64{10, 20, 20, 30}).Ranks()
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks(10,20,20,30) = %v, want %v", got, want)
+		}
+	}
+
+	// Randomized against the naive definition: rank(i) = average 1-based
+	// sorted position over i's tie group.
+	rng := rand.New(rand.NewSource(21))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(40)) // plenty of ties
+	}
+	got = Float64ColumnOf(vals).Ranks()
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	for i, v := range vals {
+		lo := sort.SearchFloat64s(sorted, v)
+		hi := sort.SearchFloat64s(sorted, math.Nextafter(v, math.Inf(1)))
+		want := float64(lo+hi+1) / 2
+		if got[i] != want {
+			t.Fatalf("rank[%d] (v=%v) = %v, want %v", i, v, got[i], want)
+		}
+	}
+}
+
+func TestInt64Column(t *testing.T) {
+	c := NewInt64Column(2)
+	for _, v := range []int64{7, -3, 12, 0} {
+		c.Append(v)
+	}
+	if c.Len() != 4 || c.At(2) != 12 {
+		t.Fatalf("Len=%d At(2)=%d", c.Len(), c.At(2))
+	}
+	lo, hi, ok := c.MinMax()
+	if !ok || lo != -3 || hi != 12 {
+		t.Fatalf("MinMax = %d %d %v", lo, hi, ok)
+	}
+	if _, _, ok := NewInt64Column(0).MinMax(); ok {
+		t.Error("empty MinMax: ok should be false")
+	}
+	if got := c.Sum(); got != 16 {
+		t.Fatalf("Sum = %d", got)
+	}
+	f := c.Float64()
+	if f.Len() != 4 || f.At(1) != -3 {
+		t.Fatalf("Float64 conversion: len=%d at(1)=%v", f.Len(), f.At(1))
+	}
+
+	// Large column exercises the sharded sum against a scalar loop.
+	rng := rand.New(rand.NewSource(4))
+	big := NewInt64Column(2 * kernels.MorselRows)
+	var want int64
+	for i := 0; i < 2*kernels.MorselRows+99; i++ {
+		v := int64(rng.Intn(1000) - 500)
+		big.Append(v)
+		want += v
+	}
+	if got := big.Sum(); got != want {
+		t.Fatalf("sharded Sum = %d, want %d", got, want)
+	}
+}
+
+func TestColumnTypedViews(t *testing.T) {
+	num := NewColumn()
+	for _, v := range []float64{1, 2, 1, 3} {
+		num.Append(NumVal(v))
+	}
+	fc, ok := num.Float64View()
+	if !ok {
+		t.Fatal("Float64View on numeric column failed")
+	}
+	for i, want := range []float64{1, 2, 1, 3} {
+		if fc.At(i) != want {
+			t.Fatalf("view[%d] = %v, want %v", i, fc.At(i), want)
+		}
+	}
+	// The view is cached until the column grows.
+	if fc2, _ := num.Float64View(); fc2 != fc {
+		t.Error("Float64View not cached")
+	}
+	num.Append(NumVal(9))
+	fc3, ok := num.Float64View()
+	if !ok || fc3.Len() != 5 || fc3.At(4) != 9 {
+		t.Fatalf("view after growth: ok=%v len=%d", ok, fc3.Len())
+	}
+
+	ic, ok := num.Int64View()
+	if !ok || ic.At(4) != 9 {
+		t.Fatalf("Int64View: ok=%v", ok)
+	}
+	if ic2, _ := num.Int64View(); ic2 != ic {
+		t.Error("Int64View not cached")
+	}
+
+	// Fractional values are float-viewable but not int-viewable.
+	frac := NewColumn()
+	frac.Append(NumVal(1.5))
+	if _, ok := frac.Float64View(); !ok {
+		t.Error("Float64View should accept fractions")
+	}
+	if _, ok := frac.Int64View(); ok {
+		t.Error("Int64View should reject fractions")
+	}
+	// Magnitudes beyond 2^53 are not exactly representable as int64 paths.
+	huge := NewColumn()
+	huge.Append(NumVal(math.Pow(2, 53)))
+	if _, ok := huge.Int64View(); ok {
+		t.Error("Int64View should reject |v| >= 2^53")
+	}
+
+	// Non-numeric columns expose no typed view.
+	str := NewColumn()
+	str.Append(StrVal("x"))
+	if _, ok := str.Float64View(); ok {
+		t.Error("Float64View on Str column should fail")
+	}
+	if _, ok := str.Int64View(); ok {
+		t.Error("Int64View on Str column should fail")
+	}
+}
+
+func TestColumnGrow(t *testing.T) {
+	c := NewColumn()
+	c.Append(NumVal(1))
+	c.Grow(100)
+	if c.Len() != 1 || cap(c.Codes()) < 101 {
+		t.Fatalf("Grow: len=%d cap=%d", c.Len(), cap(c.Codes()))
+	}
+	if c.Value(0).Float() != 1 {
+		t.Fatal("Grow corrupted contents")
+	}
+
+	schema := demoSchema(t)
+	cols := NewColumnar(schema)
+	cols.Grow(50)
+	for j := 0; j < schema.Len(); j++ {
+		if cap(cols.Col(j).Codes()) < 50 {
+			t.Fatalf("Columnar.Grow: col %d cap=%d", j, cap(cols.Col(j).Codes()))
+		}
+	}
+}
+
+func TestTableFloat64Column(t *testing.T) {
+	schema := MustSchema(
+		Attribute{Name: "A", Kind: Numeric, Role: QuasiIdentifier},
+		Attribute{Name: "B", Kind: Categorical, Role: Sensitive},
+	)
+	tab := NewTable(schema)
+	for i := 0; i < 10; i++ {
+		tab.MustAppend(NumVal(float64(i*i)), StrVal("s"))
+	}
+
+	// Plain (row-backed) path: direct row scan, no dictionary built.
+	fc, ok := tab.Float64Column(0)
+	if !ok || fc.Len() != 10 || fc.At(3) != 9 {
+		t.Fatalf("Float64Column: ok=%v", ok)
+	}
+	if fc2, _ := tab.Float64Column(0); fc2 != fc {
+		t.Error("typed column not cached")
+	}
+	// The non-numeric column is negatively cached.
+	if _, ok := tab.Float64Column(1); ok {
+		t.Error("Float64Column on categorical should fail")
+	}
+	if _, ok := tab.Float64Column(1); ok {
+		t.Error("negative cache should persist")
+	}
+
+	// NumericRange prefers the already-materialized typed column.
+	lo, hi, ok := tab.NumericRange(0)
+	if !ok || lo != 0 || hi != 81 {
+		t.Fatalf("NumericRange = %v %v %v", lo, hi, ok)
+	}
+
+	// Mutation invalidates: appended rows must be visible afterwards.
+	tab.InvalidateColumns()
+	tab.MustAppend(NumVal(1000), StrVal("s"))
+	fc3, ok := tab.Float64Column(0)
+	if !ok || fc3.Len() != 11 || fc3.At(10) != 1000 {
+		t.Fatalf("after invalidate: ok=%v len=%d", ok, fc3.Len())
+	}
+
+	// Columnar-backed path delegates to the dictionary-expansion view.
+	tab.Columnar()
+	fc4, ok := tab.Float64Column(0)
+	if !ok || fc4.Len() != 11 || fc4.At(10) != 1000 {
+		t.Fatalf("backed path: ok=%v len=%d", ok, fc4.Len())
+	}
+}
+
+// TestIngestCSVMatchesReadCSV pins the pipelined double-buffered ingest to
+// the one-shot reference on a CSV large enough to span several read
+// buffers, plus the quote-hostile sample.
+func TestIngestCSVMatchesReadCSV(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("ZipCode,Age,MaritalStatus\n")
+	rng := rand.New(rand.NewSource(17))
+	statuses := []string{"Married", "Separated", "CF-Spouse", "Never-married"}
+	for i := 0; i < 40000; i++ { // ~1 MiB, several 256 KiB ingest buffers
+		fmt.Fprintf(&sb, "%05d,%d,%s\n", 10000+rng.Intn(90000), rng.Intn(90), statuses[rng.Intn(len(statuses))])
+	}
+	for name, in := range map[string]string{"large": sb.String(), "quoted": quotedCSV} {
+		want, err := ReadCSV(strings.NewReader(in), demoSchema(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := IngestCSVTable(strings.NewReader(in), demoSchema(t))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("%s: Len %d != %d", name, got.Len(), want.Len())
+		}
+		for i := 0; i < want.Len(); i++ {
+			for j := 0; j < want.Schema.Len(); j++ {
+				if g, w := got.At(i, j).Key(), want.At(i, j).Key(); g != w {
+					t.Fatalf("%s: cell (%d,%d): %q != %q", name, i, j, g, w)
+				}
+			}
+		}
+	}
+
+	// Errors propagate from the parser through the pipeline.
+	if _, err := IngestCSV(strings.NewReader("Zip,Age,MaritalStatus\nx\n"), demoSchema(t)); err == nil {
+		t.Error("bad header should fail")
+	}
+}

@@ -172,8 +172,9 @@ type Table struct {
 	Schema *Schema
 	Rows   [][]Value
 
-	colMu sync.Mutex
-	cols  *Columnar
+	colMu   sync.Mutex
+	cols    *Columnar
+	numCols map[int]*Float64Column // typed-column cache for backing-less tables
 }
 
 // NewTable returns an empty table with the given schema.
@@ -209,6 +210,7 @@ func (t *Table) At(i, j int) Value { return t.Rows[i][j] }
 func (t *Table) InvalidateColumns() {
 	t.colMu.Lock()
 	t.cols = nil
+	t.numCols = nil
 	t.colMu.Unlock()
 }
 
@@ -262,6 +264,44 @@ func (t *Table) Column(j int) []Value {
 	return col
 }
 
+// Float64Column returns column j as a typed, non-dictionary Float64Column
+// — the fast path for high-cardinality numeric attributes — built at most
+// once and cached; ok is false unless every cell is an exact Num. Tables
+// with a columnar backing expand the dictionary payload; plain tables scan
+// rows directly, skipping dictionary encoding entirely. The typed column
+// is shared; treat it as read-only. InvalidateColumns drops the cache
+// along with the columnar backing.
+func (t *Table) Float64Column(j int) (*Float64Column, bool) {
+	if bc := t.backing(); bc != nil {
+		return bc.Col(j).Float64View()
+	}
+	t.colMu.Lock()
+	if fc, ok := t.numCols[j]; ok {
+		t.colMu.Unlock()
+		return fc, fc != nil
+	}
+	t.colMu.Unlock()
+	var fc *Float64Column
+	vals := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		if r[j].Kind() != Num {
+			vals = nil
+			break
+		}
+		vals[i] = r[j].Float()
+	}
+	if vals != nil {
+		fc = Float64ColumnOf(vals)
+	}
+	t.colMu.Lock()
+	if t.numCols == nil {
+		t.numCols = make(map[int]*Float64Column)
+	}
+	t.numCols[j] = fc
+	t.colMu.Unlock()
+	return fc, fc != nil
+}
+
 // ColumnByName returns a copy of the named column.
 func (t *Table) ColumnByName(name string) ([]Value, error) {
 	j := t.Schema.Index(name)
@@ -312,6 +352,14 @@ func (t *Table) NumericRange(j int) (lo, hi float64, ok bool) {
 			}
 			return lo, hi, true
 		}
+	}
+	t.colMu.Lock()
+	fc := t.numCols[j]
+	t.colMu.Unlock()
+	if fc != nil {
+		// A typed column was already materialized for this attribute: the
+		// range is its sharded MinMax kernel.
+		return fc.MinMax()
 	}
 	first := true
 	for _, r := range t.Rows {

@@ -37,7 +37,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -46,6 +45,7 @@ import (
 	"microdata/internal/algorithm"
 	"microdata/internal/dataset"
 	"microdata/internal/eqclass"
+	"microdata/internal/kernels"
 	"microdata/internal/lattice"
 	"microdata/internal/telemetry"
 	"microdata/internal/telemetry/progress"
@@ -70,7 +70,8 @@ func WithCacheSize(n int) Option {
 }
 
 // WithWorkers fixes the EvaluateAll worker pool size (n >= 1); the default
-// is runtime.GOMAXPROCS(0).
+// is Config.Workers when set, else the module-wide kernels.DefaultWorkers
+// (GOMAXPROCS unless the shared -workers setting overrides it).
 func WithWorkers(n int) Option {
 	return func(e *Engine) {
 		if n >= 1 {
@@ -154,7 +155,10 @@ func NewContext(ctx context.Context, t *dataset.Table, cfg algorithm.Config, opt
 		lat:       lat,
 		budget:    cfg.Budget(t.Len()),
 		cacheSize: DefaultCacheSize,
-		workers:   runtime.GOMAXPROCS(0),
+		workers:   kernels.DefaultWorkers(),
+	}
+	if cfg.Workers >= 1 {
+		e.workers = cfg.Workers
 	}
 	for _, o := range opts {
 		o(e)

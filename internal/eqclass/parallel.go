@@ -1,0 +1,237 @@
+// Morsel-driven parallel group-by: the pairwise radix/hash combine of
+// codes.go sharded across workers over fixed-size row morsels, with the
+// per-shard group tables merged under global first-appearance renumbering.
+// The result is element-identical to the sequential reference — same class
+// order, same ascending rows within each class — which the cross-validation
+// tests pin.
+//
+// The construction has three phases:
+//
+//  1. Shard combine (parallel): each worker owns a contiguous,
+//     morsel-aligned row range and runs the ordinary pairwise combine over
+//     it, producing shard-local group ids in first-appearance order plus,
+//     per local group, its representative (first) global row index and its
+//     row count.
+//  2. Merge (sequential, O(total local groups) — not O(rows)): walking
+//     shards in row order and local groups in local-id order assigns global
+//     ids by first appearance: a local group whose representative tuple was
+//     already seen adopts the existing id. Because local ids are
+//     first-appearance-ordered within their shard and shards are scanned in
+//     row order, the resulting global numbering is exactly the sequential
+//     scan's first-appearance numbering. The same walk computes, per
+//     (shard, local group), the absolute offset its rows occupy inside the
+//     final class segment, so phase 3 needs no synchronization.
+//  3. Materialize (parallel): every shard writes its rows' ClassOf entries
+//     and scatters its row indices into the shared class backing at the
+//     offsets from phase 2. Within one class, shard segments are ordered by
+//     shard (= row order) and rows within a segment are scanned
+//     ascending, so each class's row list is globally ascending.
+package eqclass
+
+import (
+	"microdata/internal/kernels"
+)
+
+// morselRows is the row-range granularity shards are aligned to. It is a
+// variable (defaulting to kernels.MorselRows) only so the cross-validation
+// tests can shrink it to force multi-shard execution and odd
+// morsel-boundary splits on small inputs.
+var morselRows = kernels.MorselRows
+
+// groupShards returns how many shards the parallel group-by should split n
+// rows into under the given worker budget (0 = kernels.DefaultWorkers): at
+// most one shard per worker, at least one morsel per shard.
+func groupShards(n, workers int) int {
+	if workers <= 0 {
+		workers = kernels.DefaultWorkers()
+	}
+	maxByRows := (n + morselRows - 1) / morselRows
+	if workers > maxByRows {
+		workers = maxByRows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// groupShardRange returns the half-open, morsel-aligned row range of shard
+// s of nShards over n rows; the last shard absorbs the remainder.
+func groupShardRange(n, nShards, s int) (lo, hi int) {
+	morsels := (n + morselRows - 1) / morselRows
+	per, extra := morsels/nShards, morsels%nShards
+	start := s * per
+	if s < extra {
+		start += s
+	} else {
+		start += extra
+	}
+	count := per
+	if s < extra {
+		count++
+	}
+	lo = start * morselRows
+	hi = lo + count*morselRows
+	if lo > n {
+		lo = n
+	}
+	if hi > n || s == nShards-1 {
+		hi = n
+	}
+	return lo, hi
+}
+
+// groupShard is one worker's slice of the parallel group-by.
+type groupShard struct {
+	lo, hi int
+	ids    []uint32 // local group id per row, backed by the shared ids array
+	reps   []int32  // local group -> representative (first) global row index
+	counts []int    // local group -> row count within this shard
+	remap  []uint32 // local group -> global group id (merge phase)
+	off    []int    // local group -> absolute write cursor into the class backing
+	err    error
+}
+
+// fromCodesParallel runs the morsel-driven parallel group-by. cards must be
+// effective (all > 0) and nShards > 1.
+func fromCodesParallel(cols [][]uint32, cards []int, n, nShards int) (*Partition, error) {
+	ids := make([]uint32, n)
+	shards := make([]groupShard, nShards)
+	kernels.ParallelFor(nShards, func(s int) {
+		st := &shards[s]
+		st.lo, st.hi = groupShardRange(n, nShards, s)
+		st.ids = ids[st.lo:st.hi:st.hi]
+		groups := 1
+		for c, codes := range cols {
+			if groups, st.err = combine(st.ids, codes[st.lo:st.hi], groups, cards[c]); st.err != nil {
+				return
+			}
+		}
+		// Local ids are assigned in first-appearance order, so the first
+		// occurrence of id g is exactly the row where g == len(reps).
+		st.reps = make([]int32, 0, groups)
+		st.counts = make([]int, groups)
+		for i, id := range st.ids {
+			if int(id) == len(st.reps) {
+				st.reps = append(st.reps, int32(st.lo+i))
+			}
+			st.counts[id]++
+		}
+	})
+	for s := range shards {
+		if err := shards[s].err; err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge: assign global ids by first appearance across shards.
+	mt := newMergeTable(cols)
+	for s := range shards {
+		st := &shards[s]
+		st.remap = make([]uint32, len(st.reps))
+		for lg, rep := range st.reps {
+			st.remap[lg] = mt.globalID(rep)
+		}
+	}
+	groups := len(mt.reps)
+	classCounts := make([]int, groups)
+	for s := range shards {
+		st := &shards[s]
+		for lg, c := range st.counts {
+			classCounts[st.remap[lg]] += c
+		}
+	}
+	// Absolute class-segment starts, then per-(shard, local group) write
+	// cursors in shard order — the order that keeps rows ascending.
+	starts := make([]int, groups+1)
+	for g, c := range classCounts {
+		starts[g+1] = starts[g] + c
+	}
+	cursor := make([]int, groups)
+	copy(cursor, starts[:groups])
+	for s := range shards {
+		st := &shards[s]
+		st.off = make([]int, len(st.counts))
+		for lg, c := range st.counts {
+			g := st.remap[lg]
+			st.off[lg] = cursor[g]
+			cursor[g] += c
+		}
+	}
+
+	// Materialize ClassOf and the class backing in parallel.
+	p := &Partition{
+		ClassOf: make([]int, n),
+		Classes: make([][]int, groups),
+		n:       n,
+	}
+	backing := make([]int, n)
+	kernels.ParallelFor(nShards, func(s int) {
+		st := &shards[s]
+		for i, id := range st.ids {
+			g := st.remap[id]
+			p.ClassOf[st.lo+i] = int(g)
+			backing[st.off[id]] = st.lo + i
+			st.off[id]++
+		}
+	})
+	for g := range p.Classes {
+		p.Classes[g] = backing[starts[g]:starts[g+1]:starts[g+1]]
+	}
+	return p, nil
+}
+
+// mergeTable interns code tuples (identified by a representative row) into
+// dense global group ids in insertion order. Tuples hash over every
+// column's code at the representative row; collisions fall back to exact
+// tuple comparison, so the numbering never depends on hash quality.
+type mergeTable struct {
+	cols    [][]uint32
+	buckets map[uint64][]uint32 // tuple hash -> global ids
+	reps    []int32             // global id -> representative row
+}
+
+func newMergeTable(cols [][]uint32) *mergeTable {
+	return &mergeTable{cols: cols, buckets: make(map[uint64][]uint32)}
+}
+
+// globalID returns the global group id of the tuple at row rep, interning
+// it with the next id on first sight.
+func (m *mergeTable) globalID(rep int32) uint32 {
+	h := m.hash(rep)
+	for _, g := range m.buckets[h] {
+		if m.equal(m.reps[g], rep) {
+			return g
+		}
+	}
+	g := uint32(len(m.reps))
+	m.reps = append(m.reps, rep)
+	m.buckets[h] = append(m.buckets[h], g)
+	return g
+}
+
+// hash is FNV-1a over the row's code tuple.
+func (m *mergeTable) hash(row int32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, col := range m.cols {
+		cd := col[row]
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(cd >> shift))
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func (m *mergeTable) equal(a, b int32) bool {
+	for _, col := range m.cols {
+		if col[a] != col[b] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,217 @@
+// Cross-validation of the morsel-driven parallel group-by against the
+// sequential reference. These tests live in-package so they can shrink
+// morselRows and force multi-shard execution on small inputs.
+package eqclass
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"microdata/internal/dataset"
+)
+
+// withMorselRows shrinks the shard granularity for the duration of a test.
+func withMorselRows(t *testing.T, rows int) {
+	t.Helper()
+	old := morselRows
+	morselRows = rows
+	t.Cleanup(func() { morselRows = old })
+}
+
+// identical asserts element-identity of two partitions: same ClassOf, same
+// class order, same ascending row order inside each class.
+func identical(t *testing.T, label string, got, want *Partition) {
+	t.Helper()
+	if got.N() != want.N() || got.NumClasses() != want.NumClasses() {
+		t.Fatalf("%s: N=%d/%d classes=%d/%d", label, got.N(), want.N(), got.NumClasses(), want.NumClasses())
+	}
+	for i := range want.ClassOf {
+		if got.ClassOf[i] != want.ClassOf[i] {
+			t.Fatalf("%s: ClassOf[%d] = %d, want %d", label, i, got.ClassOf[i], want.ClassOf[i])
+		}
+	}
+	for ci := range want.Classes {
+		if len(got.Classes[ci]) != len(want.Classes[ci]) {
+			t.Fatalf("%s: class %d size %d, want %d", label, ci, len(got.Classes[ci]), len(want.Classes[ci]))
+		}
+		for k := range want.Classes[ci] {
+			if got.Classes[ci][k] != want.Classes[ci][k] {
+				t.Fatalf("%s: class %d entry %d = %d, want %d", label, ci, k, got.Classes[ci][k], want.Classes[ci][k])
+			}
+		}
+	}
+}
+
+// randomCodes builds nCols random code vectors of n rows with the given
+// cardinality.
+func randomCodes(rng *rand.Rand, n, nCols, card int) ([][]uint32, []int) {
+	cols := make([][]uint32, nCols)
+	cards := make([]int, nCols)
+	for c := range cols {
+		cols[c] = make([]uint32, n)
+		cards[c] = card
+		for i := range cols[c] {
+			cols[c][i] = uint32(rng.Intn(card))
+		}
+	}
+	return cols, cards
+}
+
+func TestParallelMatchesSequentialRandomized(t *testing.T) {
+	withMorselRows(t, 64)
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 1 + rng.Intn(2000)
+		card := 2 + rng.Intn(12) // low cardinality keeps the radix path hot
+		cols, cards := randomCodes(rng, n, 1+rng.Intn(4), card)
+		want, err := FromCodesSequential(cols, cards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 8} {
+			got, err := FromCodesParallel(cols, cards, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			identical(t, fmt.Sprintf("trial %d workers %d", trial, w), got, want)
+		}
+	}
+}
+
+// TestParallelHashPath forces both the per-shard combine and the merge over
+// the map-based (non-radix) path with high-cardinality columns.
+func TestParallelHashPath(t *testing.T) {
+	withMorselRows(t, 128)
+	const n, card = 4000, 4000
+	rng := rand.New(rand.NewSource(99))
+	cols, cards := randomCodes(rng, n, 2, card) // card² ≫ radix budget
+	want, err := FromCodesSequential(cols, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromCodesParallel(cols, cards, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical(t, "hash path", got, want)
+}
+
+// TestParallelMorselBoundaries sweeps n across exact morsel multiples and
+// off-by-one neighbours, where shard-range arithmetic is most fragile.
+func TestParallelMorselBoundaries(t *testing.T) {
+	withMorselRows(t, 32)
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 31, 32, 33, 63, 64, 65, 96, 127, 128, 129, 1024, 1025} {
+		cols, cards := randomCodes(rng, n, 2, 3)
+		want, err := FromCodesSequential(cols, cards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{1, 2, 4, 100} {
+			got, err := FromCodesParallel(cols, cards, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			identical(t, fmt.Sprintf("n=%d workers=%d", n, w), got, want)
+		}
+	}
+}
+
+func TestParallelErrors(t *testing.T) {
+	withMorselRows(t, 16)
+	if _, err := FromCodesParallel(nil, nil, 4); err == nil {
+		t.Error("no columns should fail")
+	}
+	if _, err := FromCodesParallel([][]uint32{{}}, []int{1}, 4); err == nil {
+		t.Error("zero rows should fail")
+	}
+	// An out-of-range code in a late shard must surface as an error, not a
+	// panic or partial result.
+	codes := make([]uint32, 100)
+	codes[97] = 9
+	if _, err := FromCodesParallel([][]uint32{codes}, []int{3}, 4); err == nil {
+		t.Error("code exceeding cardinality in a late shard should fail")
+	}
+}
+
+// TestGroupShardRangeInvariants checks coverage, alignment and monotonicity
+// of the shard ranges for many (n, shards) combinations.
+func TestGroupShardRangeInvariants(t *testing.T) {
+	withMorselRows(t, 16)
+	for _, n := range []int{1, 15, 16, 17, 47, 48, 49, 160, 161, 1000} {
+		for workers := 1; workers <= 12; workers++ {
+			nShards := groupShards(n, workers)
+			if nShards < 1 || nShards > workers {
+				t.Fatalf("groupShards(%d, %d) = %d", n, workers, nShards)
+			}
+			prev := 0
+			for s := 0; s < nShards; s++ {
+				lo, hi := groupShardRange(n, nShards, s)
+				if lo != prev || hi < lo {
+					t.Fatalf("n=%d shards=%d shard %d: [%d,%d) after %d", n, nShards, s, lo, hi, prev)
+				}
+				if s > 0 && lo%morselRows != 0 {
+					t.Fatalf("n=%d shards=%d shard %d: start %d not aligned", n, nShards, s, lo)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d shards=%d: covered %d rows", n, nShards, prev)
+			}
+		}
+	}
+}
+
+// TestPooledScratchConcurrent hammers the pooled radix LUT and histogram
+// scratch from many goroutines; run with -race it proves the pools hand out
+// disjoint buffers.
+func TestPooledScratchConcurrent(t *testing.T) {
+	withMorselRows(t, 64)
+	rng := rand.New(rand.NewSource(11))
+	cols, cards := randomCodes(rng, 3000, 3, 5)
+	want, err := FromCodesSequential(cols, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sens := dataset.NewColumn()
+	vals := []dataset.Value{dataset.StrVal("a"), dataset.StrVal("b"), dataset.StrVal("c")}
+	for i := 0; i < 3000; i++ {
+		sens.Append(vals[i%len(vals)])
+	}
+	wantCounts, err := want.ValueCountsColumn(sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				got, err := FromCodesParallel(cols, cards, 4)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got.NumClasses() != want.NumClasses() {
+					t.Errorf("classes %d != %d", got.NumClasses(), want.NumClasses())
+					return
+				}
+				counts, err := got.ValueCountsColumn(sens)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(counts) != len(wantCounts) {
+					t.Errorf("counts %d != %d", len(counts), len(wantCounts))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

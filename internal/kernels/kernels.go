@@ -1,0 +1,120 @@
+// Package kernels is the shared substrate of the parallel, type-specialized
+// vector-kernel layer: the one worker-count knob every parallel path in the
+// module reads (engine EvaluateAll, attack shard fan-out, the morsel-driven
+// group-by in eqclass, the typed numeric reductions in dataset), fixed-size
+// row morsels for sharding columnar scans, and pooled per-worker scratch
+// vectors.
+//
+// The package deliberately holds no domain types: it exists so that the
+// packages implementing kernels (dataset, eqclass, engine, attack) agree on
+// how parallelism is sized and how scratch is recycled, which is what makes
+// the kernels reentrant for concurrent tenants (the daemon on the roadmap)
+// instead of each owning ad-hoc globals.
+package kernels
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MorselRows is the fixed morsel size parallel columnar kernels shard row
+// ranges by: large enough that per-morsel bookkeeping vanishes against the
+// scan, small enough that GOMAXPROCS workers load-balance a skewed table.
+// 64k rows of uint32 codes is 256 KiB per column — comfortably
+// cache-resident while a worker owns it.
+const MorselRows = 1 << 16
+
+// defaultWorkers holds the module-wide worker-count override; 0 means
+// "runtime.GOMAXPROCS(0) at call time".
+var defaultWorkers atomic.Int32
+
+// SetDefaultWorkers sets the module-wide default worker count used by every
+// parallel kernel that is not explicitly sized by its caller (engine
+// WithWorkers and attack SetWorkers still win locally). n <= 0 restores the
+// GOMAXPROCS default. The CLIs thread their shared -workers flag here.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// DefaultWorkers returns the module-wide default worker count:
+// SetDefaultWorkers' value when set, else runtime.GOMAXPROCS(0).
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Shards returns how many contiguous row shards a kernel should split n
+// rows into for the given worker budget (0 = DefaultWorkers): at most one
+// shard per worker and at least one morsel of rows per shard, so tiny
+// inputs stay sequential and huge ones fan out to every worker.
+func Shards(n, workers int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	maxByRows := (n + MorselRows - 1) / MorselRows
+	if workers > maxByRows {
+		workers = maxByRows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ShardRange returns the half-open row range [lo, hi) of shard s of nShards
+// over n rows. Ranges are contiguous, ascending, morsel-aligned on their
+// lower bound, and cover 0..n exactly; the last shard absorbs the
+// remainder. Morsel alignment keeps every shard boundary at a multiple of
+// MorselRows, so per-shard scans see whole morsels.
+func ShardRange(n, nShards, s int) (lo, hi int) {
+	morsels := (n + MorselRows - 1) / MorselRows
+	per := morsels / nShards
+	extra := morsels % nShards
+	// Shards 0..extra-1 take per+1 morsels, the rest take per.
+	start := s * per
+	if s < extra {
+		start += s
+	} else {
+		start += extra
+	}
+	count := per
+	if s < extra {
+		count++
+	}
+	lo = start * MorselRows
+	hi = lo + count*MorselRows
+	if lo > n {
+		lo = n
+	}
+	if hi > n || s == nShards-1 {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ParallelFor runs f(shard) for every shard in [0, nShards) across at most
+// nShards goroutines and blocks until all complete. nShards <= 1 runs
+// inline. f must be safe to run concurrently with itself.
+func ParallelFor(nShards int, f func(shard int)) {
+	if nShards <= 1 {
+		if nShards == 1 {
+			f(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(nShards)
+	for s := 0; s < nShards; s++ {
+		go func(s int) {
+			defer wg.Done()
+			f(s)
+		}(s)
+	}
+	wg.Wait()
+}

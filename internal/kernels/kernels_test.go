@@ -1,0 +1,131 @@
+package kernels
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+
+	SetDefaultWorkers(0)
+	if got, want := DefaultWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("DefaultWorkers() with no override = %d, want GOMAXPROCS %d", got, want)
+	}
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers() after SetDefaultWorkers(3) = %d", got)
+	}
+	SetDefaultWorkers(-5)
+	if got, want := DefaultWorkers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("negative override should reset to GOMAXPROCS: got %d, want %d", got, want)
+	}
+}
+
+func TestShards(t *testing.T) {
+	tests := []struct {
+		n, workers, want int
+	}{
+		{0, 4, 1},
+		{1, 4, 1},
+		{MorselRows, 4, 1},          // one morsel can't be split
+		{MorselRows + 1, 4, 2},      // two morsels, two workers get one each
+		{4 * MorselRows, 4, 4},      // perfectly divisible
+		{4 * MorselRows, 2, 2},      // capped by workers
+		{100 * MorselRows, 8, 8},    // capped by workers
+		{3 * MorselRows, 100, 3},    // capped by morsel count
+		{2*MorselRows + 17, 100, 3}, // partial morsel still counts
+		{MorselRows, 1, 1},
+		{10, 1, 1},
+	}
+	for _, tc := range tests {
+		if got := Shards(tc.n, tc.workers); got != tc.want {
+			t.Errorf("Shards(%d, %d) = %d, want %d", tc.n, tc.workers, got, tc.want)
+		}
+	}
+}
+
+func TestShardRangeCoversAll(t *testing.T) {
+	ns := []int{0, 1, 17, MorselRows - 1, MorselRows, MorselRows + 1,
+		2 * MorselRows, 3*MorselRows + 1234, 7*MorselRows - 1}
+	for _, n := range ns {
+		for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+			nShards := Shards(n, workers)
+			prev := 0
+			for s := 0; s < nShards; s++ {
+				lo, hi := ShardRange(n, nShards, s)
+				if lo != prev {
+					t.Fatalf("n=%d shards=%d: shard %d starts at %d, want %d (gap/overlap)", n, nShards, s, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d shards=%d: shard %d has hi %d < lo %d", n, nShards, s, hi, lo)
+				}
+				if s < nShards-1 && lo%MorselRows != 0 {
+					t.Fatalf("n=%d shards=%d: shard %d start %d not morsel-aligned", n, nShards, s, lo)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d shards=%d: shards end at %d, want %d", n, nShards, prev, n)
+			}
+		}
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	for _, nShards := range []int{1, 2, 5, 16} {
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, nShards)
+		ParallelFor(nShards, func(s int) {
+			hits.Add(1)
+			if seen[s].Swap(true) {
+				t.Errorf("shard %d ran twice", s)
+			}
+		})
+		if int(hits.Load()) != nShards {
+			t.Fatalf("ParallelFor(%d) ran %d shards", nShards, hits.Load())
+		}
+	}
+}
+
+func TestPools(t *testing.T) {
+	s := GetInt32(100)
+	if len(s) != 100 {
+		t.Fatalf("GetInt32(100) len = %d", len(s))
+	}
+	FillInt32(s, -1)
+	for i, v := range s {
+		if v != -1 {
+			t.Fatalf("FillInt32: s[%d] = %d", i, v)
+		}
+	}
+	PutInt32(s)
+
+	// A recycled slice must still come back with the requested length and
+	// may hold stale contents: callers always Fill/Zero before use.
+	s2 := GetInt32(50)
+	if len(s2) != 50 {
+		t.Fatalf("GetInt32(50) after Put = len %d", len(s2))
+	}
+	PutInt32(s2)
+
+	is := GetInt(64)
+	if len(is) != 64 {
+		t.Fatalf("GetInt(64) len = %d", len(is))
+	}
+	ZeroInt(is)
+	for i, v := range is {
+		if v != 0 {
+			t.Fatalf("ZeroInt: is[%d] = %d", i, v)
+		}
+	}
+	PutInt(is)
+
+	// nil / empty are tolerated.
+	PutInt32(nil)
+	PutInt(nil)
+	if got := GetInt32(0); len(got) != 0 {
+		t.Fatalf("GetInt32(0) len = %d", len(got))
+	}
+}

@@ -1,0 +1,56 @@
+package kernels
+
+import "sync"
+
+// The scratch pools recycle the per-worker vectors the hot kernels would
+// otherwise allocate per call: radix lookup tables and group-id vectors in
+// the eqclass group-by, histogram tallies in the class-histogram kernels.
+// Get returns a slice of at least the requested length (its prefix of
+// exactly that length, contents unspecified); Put recycles it for any
+// goroutine. The pools are safe for concurrent use — each worker owns what
+// it Gets until it Puts it back, which is the ownership rule that keeps the
+// kernels reentrant under concurrent tenants.
+
+var (
+	int32Pool = sync.Pool{New: func() any { return []int32(nil) }}
+	intPool   = sync.Pool{New: func() any { return []int(nil) }}
+)
+
+// GetInt32 returns a pooled []int32 of length n (unspecified contents).
+func GetInt32(n int) []int32 {
+	s := int32Pool.Get().([]int32)
+	if cap(s) < n {
+		s = make([]int32, n)
+	}
+	return s[:n]
+}
+
+// PutInt32 recycles a slice obtained from GetInt32.
+func PutInt32(s []int32) { int32Pool.Put(s[:0]) } //nolint:staticcheck // slice header, not pointer
+
+// GetInt returns a pooled []int of length n (unspecified contents).
+func GetInt(n int) []int {
+	s := intPool.Get().([]int)
+	if cap(s) < n {
+		s = make([]int, n)
+	}
+	return s[:n]
+}
+
+// PutInt recycles a slice obtained from GetInt.
+func PutInt(s []int) { intPool.Put(s[:0]) } //nolint:staticcheck // slice header, not pointer
+
+// FillInt32 sets every element of s to v (the radix-table reset loop; the
+// compiler lowers it to memclr-style code for v==0 patterns).
+func FillInt32(s []int32, v int32) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// ZeroInt zeroes every element of s.
+func ZeroInt(s []int) {
+	for i := range s {
+		s[i] = 0
+	}
+}

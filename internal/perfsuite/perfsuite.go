@@ -13,8 +13,14 @@
 //     with the indexed vectors cross-validated element-identical to the
 //     naive ones during setup, so a pack is only produced from verified
 //     computations;
+//   - "groupby-parallel": the morsel-driven parallel group-by against the
+//     sequential code-vector reference on the same generalized release —
+//     with the parallel partition cross-validated element-identical to the
+//     sequential one during setup (the PR 8 claim);
 //   - "ingest": CSV parsing straight into dictionary-encoded columns,
-//     whole-reader and chunked-push ingestion.
+//     whole-reader, chunked-push and pipelined double-buffered ingestion;
+//   - "typedcol": typed numeric column kernels (min/max, deterministic
+//     sum, fractional ranks) against the per-Value row scan they replace.
 //
 // Suites share one synthetic census draw per (N, Seed) so the pack's
 // dataset fingerprint covers every benchmark input.
@@ -61,7 +67,9 @@ func (o Options) withDefaults() Options {
 }
 
 // Names lists the registered suites in canonical order.
-func Names() []string { return []string{"attack", "engine", "groupby", "ingest"} }
+func Names() []string {
+	return []string{"attack", "engine", "groupby", "groupby-parallel", "ingest", "typedcol"}
+}
 
 // Resolve expands a -bench-suite selection ("all", one name, or a
 // comma-separated list) into canonical-order suite specs. Unknown names
@@ -118,6 +126,10 @@ func build(name string, opts Options) (perf.SuiteSpec, error) {
 	switch name {
 	case "groupby":
 		return groupbySuite(opts)
+	case "groupby-parallel":
+		return groupbyParallelSuite(opts)
+	case "typedcol":
+		return typedcolSuite(opts)
 	case "engine":
 		return engineSuite(opts)
 	case "attack":
@@ -200,6 +212,138 @@ func groupbySuite(opts Options) (perf.SuiteSpec, error) {
 		},
 	}
 	return suiteSpec("groupby", hash, opts, columnar, signatures), nil
+}
+
+// groupbyParallelSuite times the morsel-driven parallel group-by against
+// the sequential code-vector reference on the same generalized release the
+// "groupby" suite uses. Setup cross-validates the two partitions
+// element-identical and fails with a verification error on any divergence,
+// so a pack is only produced from a verified parallel path.
+func groupbyParallelSuite(opts Options) (perf.SuiteSpec, error) {
+	tab, hash, _, err := fixtures(opts)
+	if err != nil {
+		return perf.SuiteSpec{}, err
+	}
+	anon, err := hierarchy.GeneralizeTable(tab, generator.Hierarchies(), []int{2, 2, 1, 1})
+	if err != nil {
+		return perf.SuiteSpec{}, err
+	}
+	bc := anon.Columnar()
+	qis := anon.Schema.QuasiIdentifiers()
+	cols := make([][]uint32, len(qis))
+	cards := make([]int, len(qis))
+	for i, j := range qis {
+		cols[i] = bc.Col(j).Codes()
+		cards[i] = bc.Col(j).Card()
+	}
+	verify := func() error {
+		want, err := eqclass.FromCodesSequential(cols, cards)
+		if err != nil {
+			return err
+		}
+		got, err := eqclass.FromCodesParallel(cols, cards, 0)
+		if err != nil {
+			return err
+		}
+		if got.NumClasses() != want.NumClasses() {
+			return perf.Exit(perf.ExitVerification, fmt.Errorf(
+				"perfsuite: groupby-parallel: %d classes, sequential reference has %d",
+				got.NumClasses(), want.NumClasses()))
+		}
+		for i := range want.ClassOf {
+			if got.ClassOf[i] != want.ClassOf[i] {
+				return perf.Exit(perf.ExitVerification, fmt.Errorf(
+					"perfsuite: groupby-parallel: ClassOf[%d] = %d, sequential reference has %d",
+					i, got.ClassOf[i], want.ClassOf[i]))
+			}
+		}
+		return nil
+	}
+	sequential := perf.BenchmarkSpec{
+		Name: "sequential",
+		Setup: func(ctx context.Context) (func(context.Context) error, error) {
+			return func(ctx context.Context) error {
+				_, err := eqclass.FromCodesSequential(cols, cards)
+				return err
+			}, nil
+		},
+	}
+	parallel := perf.BenchmarkSpec{
+		Name: "parallel",
+		Setup: func(ctx context.Context) (func(context.Context) error, error) {
+			if err := verify(); err != nil {
+				return nil, err
+			}
+			return func(ctx context.Context) error {
+				_, err := eqclass.FromCodesParallel(cols, cards, 0)
+				return err
+			}, nil
+		},
+	}
+	return suiteSpec("groupby-parallel", hash, opts, sequential, parallel), nil
+}
+
+// sinkF defeats dead-code elimination of the typedcol kernel results.
+var sinkF float64
+
+// typedcolSuite times the typed numeric column kernels on the census Age
+// attribute — min/max, the deterministic morsel-order sum and the
+// fractional rank vector — against the per-Value row scan they replace.
+func typedcolSuite(opts Options) (perf.SuiteSpec, error) {
+	tab, hash, _, err := fixtures(opts)
+	if err != nil {
+		return perf.SuiteSpec{}, err
+	}
+	j := tab.Schema.Index("Age")
+	if j < 0 {
+		return perf.SuiteSpec{}, fmt.Errorf("perfsuite: census schema has no Age attribute")
+	}
+	fc, ok := tab.Float64Column(j)
+	if !ok {
+		return perf.SuiteSpec{}, perf.Exit(perf.ExitVerification,
+			fmt.Errorf("perfsuite: typedcol: Age column is not purely numeric"))
+	}
+	run := func(name string, f func() error) perf.BenchmarkSpec {
+		return perf.BenchmarkSpec{
+			Name: name,
+			Setup: func(ctx context.Context) (func(context.Context) error, error) {
+				return func(ctx context.Context) error { return f() }, nil
+			},
+		}
+	}
+	return suiteSpec("typedcol", hash, opts,
+		run("minmax/typed", func() error {
+			lo, hi, ok := fc.MinMax()
+			if !ok {
+				return fmt.Errorf("perfsuite: typedcol: empty column")
+			}
+			sinkF = lo + hi
+			return nil
+		}),
+		run("minmax/value-scan", func() error {
+			lo, hi := 0.0, 0.0
+			for i, r := range tab.Rows {
+				v := r[j].Float()
+				if i == 0 || v < lo {
+					lo = v
+				}
+				if i == 0 || v > hi {
+					hi = v
+				}
+			}
+			sinkF = lo + hi
+			return nil
+		}),
+		run("sum/typed", func() error {
+			sinkF = fc.Sum()
+			return nil
+		}),
+		run("ranks/typed", func() error {
+			r := fc.Ranks()
+			sinkF = r[0]
+			return nil
+		}),
+	), nil
 }
 
 // engineSuite times full search runs of the two sweep-shaped algorithms:
@@ -438,8 +582,8 @@ func firstDiff(want, got []float64) int {
 }
 
 // ingestSuite times CSV parsing into dictionary-encoded columns: the
-// whole-reader ReadCSVColumnar path and the chunk-tolerant push ingester
-// fed 8 KiB chunks.
+// whole-reader ReadCSVColumnar path, the chunk-tolerant push ingester fed
+// 8 KiB chunks, and the pipelined double-buffered IngestCSV reader.
 func ingestSuite(opts Options) (perf.SuiteSpec, error) {
 	tab, hash, _, err := fixtures(opts)
 	if err != nil {
@@ -479,5 +623,14 @@ func ingestSuite(opts Options) (perf.SuiteSpec, error) {
 			}, nil
 		},
 	}
-	return suiteSpec("ingest", hash, opts, reader, chunks), nil
+	pipelined := perf.BenchmarkSpec{
+		Name: "ingest-pipelined",
+		Setup: func(ctx context.Context) (func(context.Context) error, error) {
+			return func(ctx context.Context) error {
+				_, err := dataset.IngestCSV(bytes.NewReader(csvBytes), schema)
+				return err
+			}, nil
+		},
+	}
+	return suiteSpec("ingest", hash, opts, reader, chunks, pipelined), nil
 }

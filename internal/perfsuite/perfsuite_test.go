@@ -52,7 +52,7 @@ func TestSuitesRunEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if pack.Suite != "attack,engine,groupby,ingest" {
+	if pack.Suite != "attack,engine,groupby,groupby-parallel,ingest,typedcol" {
 		t.Errorf("pack suite = %q", pack.Suite)
 	}
 	want := []string{
@@ -68,8 +68,15 @@ func TestSuitesRunEndToEnd(t *testing.T) {
 		"engine/sweep/datafly",
 		"groupby/columnar",
 		"groupby/signatures",
+		"groupby-parallel/sequential",
+		"groupby-parallel/parallel",
 		"ingest/readcsv-columnar",
 		"ingest/ingester-chunks",
+		"ingest/ingest-pipelined",
+		"typedcol/minmax/typed",
+		"typedcol/minmax/value-scan",
+		"typedcol/sum/typed",
+		"typedcol/ranks/typed",
 	}
 	for _, name := range want {
 		b := pack.Benchmark(name)
