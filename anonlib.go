@@ -76,6 +76,7 @@ import (
 	"microdata/internal/telemetry/perf"
 	"microdata/internal/telemetry/progress"
 	"microdata/internal/telemetry/report"
+	"microdata/internal/telemetry/resultpack"
 	"microdata/internal/utility"
 	"microdata/internal/workload"
 )
@@ -718,6 +719,69 @@ var (
 // TableHash returns the SHA-256 content hash of a table (schema + cells),
 // independent of its backing — the dataset fingerprint perf packs record.
 func TableHash(t *Table) (string, error) { return t.Hash() }
+
+// Correctness-provenance observability (internal/telemetry/resultpack,
+// internal/experiment): experiment *results* — per-algorithm measure
+// values, chosen lattice nodes, class-shape statistics, attack-risk
+// summaries and E-series report digests — sealed into versioned result
+// packs (canonical JSON with a SHA-256 self-manifest and dataset
+// fingerprint) that `compare -verify` replays field-by-field. See README
+// "Result packs & replay verification" and DESIGN.md "Result packs".
+type (
+	// ResultPack is one sealed result-pack document (schema
+	// "microdata/result-pack" v1).
+	ResultPack = resultpack.Pack
+	// ResultFloat is a float64 with pinned canonical-JSON spelling for
+	// NaN, ±Inf and negative zero.
+	ResultFloat = resultpack.Float
+	// ResultAlgorithmRow is one (k, algorithm) entry of a pack.
+	ResultAlgorithmRow = resultpack.AlgorithmResult
+	// ResultAttackRow is one algorithm's attack-risk summary in a pack.
+	ResultAttackRow = resultpack.AttackRisk
+	// ResultTableDigest pins one experiment's full text report.
+	ResultTableDigest = resultpack.TableDigest
+	// ResultComparisonRow records one pairwise comparison's verdicts.
+	ResultComparisonRow = resultpack.ComparisonResult
+	// ResultTableRecorder is the pack sink the experiment runners write
+	// report digests into.
+	ResultTableRecorder = resultpack.TableRecorder
+	// ResultDiffOptions tunes replay diffing (ULP tolerance for floats).
+	ResultDiffOptions = resultpack.DiffOptions
+	// ResultDivergence is one field-level recorded/replayed mismatch.
+	ResultDivergence = resultpack.Divergence
+	// ResultCaptureConfig selects what CaptureResultPack records.
+	ResultCaptureConfig = experiment.CaptureConfig
+	// ResultFileFingerprint pins one input file of a files-source pack.
+	ResultFileFingerprint = resultpack.FileFingerprint
+)
+
+// ResultPackSchema and ResultPackVersion identify the result-pack document.
+const (
+	ResultPackSchema  = resultpack.Schema
+	ResultPackVersion = resultpack.Version
+)
+
+// Result-pack source values: how a pack's inputs were obtained, which
+// decides how `compare -verify` replays it.
+const (
+	ResultPackSourceCensus = resultpack.SourceCensus
+	ResultPackSourcePaper  = resultpack.SourcePaper
+	ResultPackSourceFiles  = resultpack.SourceFiles
+)
+
+// Result-pack constructors and helpers.
+var (
+	ReadResultPack         = resultpack.ReadFile
+	VerifyResultPack       = resultpack.VerifyFile
+	DiffResultPacks        = resultpack.Diff
+	WriteResultDivergences = resultpack.WriteDivergences
+	CaptureResultPack      = experiment.CaptureResults
+	ReplayResultPack       = experiment.ReplayPack
+)
+
+// WriteResultPack seals p (if needed) and writes it as canonical JSON to
+// path ("-" for stdout).
+func WriteResultPack(p *ResultPack, path string) error { return p.WriteFile(path) }
 
 // Telemetry constructors and helpers.
 var (

@@ -73,6 +73,7 @@ func main() {
 		debugAddr  = flag.String("debug-addr", "", "serve the HTTP debug endpoints (/metrics, /debug/pprof/*, /healthz, /progress, /runinfo) on this address (\":0\" picks a free port)")
 		debugHold  = flag.Bool("debug-hold", false, "with -debug-addr: keep serving after the run completes until interrupted")
 		reportOut  = flag.String("report", "", "write the unified JSON run report to this file (\"-\" for stdout)")
+		resultOut  = flag.String("result-out", "", "with -run: additionally capture the run's results (per-algorithm measures, attack risks, report digests) into a sealed result pack at this path (\"-\" for stdout; verify with `compare -verify`)")
 	)
 	flag.Parse()
 	microdata.SetDefaultWorkers(*workers)
@@ -85,7 +86,7 @@ func main() {
 		traceOut: *traceOut, metricsOut: *metricsOut,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
 		progress: *progressUI, debugAddr: *debugAddr, debugHold: *debugHold,
-		reportOut: *reportOut,
+		reportOut: *reportOut, resultOut: *resultOut,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "anonbench:", err)
 		os.Exit(perf.ExitCode(err))
@@ -112,6 +113,32 @@ type options struct {
 	debugAddr              string
 	debugHold              bool
 	reportOut              string
+	resultOut              string
+}
+
+// captureResults runs the selected experiments with the result-pack sink
+// attached: the text reports still stream to stdout while the capture
+// seals the per-algorithm measures, attack risks and report digests, and
+// the run report (schema v2) links the pack's manifest digest.
+func captureResults(ctx context.Context, rb *microdata.RunReportBuilder, opts microdata.ExperimentOptions, ids []string, out string) error {
+	pack, err := microdata.CaptureResultPack(ctx, microdata.ResultCaptureConfig{
+		Opts:         opts,
+		Experiments:  ids,
+		Algorithms:   true,
+		Attack:       true,
+		ReportWriter: os.Stdout,
+	})
+	if err != nil {
+		return err
+	}
+	if err := microdata.WriteResultPack(pack, out); err != nil {
+		return err
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "anonbench: result pack sealed: %s (sha256:%s)\n", out, pack.Manifest.Digest)
+	}
+	rb.SetResultPack(out, pack.Manifest.Digest)
+	return nil
 }
 
 // realMain wires the observability sinks around the selected mode so every
@@ -122,6 +149,9 @@ func realMain(o options) error {
 		return perf.Exit(perf.ExitInvalid, err)
 	}
 	opts := microdata.ExperimentOptions{CensusN: o.n, Ks: kVals, Seed: o.seed}
+	if o.resultOut != "" && (o.list || o.engStat || o.benchAttack || o.benchSuite != "") {
+		return perf.Invalidf("-result-out only applies to experiment runs (-run)")
+	}
 
 	if o.verbose || o.logFormat != "" {
 		h, err := microdata.NewLogHandler(os.Stderr, o.logFormat, o.verbose)
@@ -216,13 +246,25 @@ func realMain(o options) error {
 				fmt.Printf("  %-4s %-62s [%s]\n", e.ID, e.Title, e.Artifact)
 			}
 		case o.run == "all":
-			runErr = microdata.RunAllExperimentsContext(ctx, os.Stdout, opts)
+			if o.resultOut != "" {
+				var ids []string
+				for _, e := range microdata.Experiments(opts) {
+					ids = append(ids, e.ID)
+				}
+				runErr = captureResults(ctx, rb, opts, ids, o.resultOut)
+			} else {
+				runErr = microdata.RunAllExperimentsContext(ctx, os.Stdout, opts)
+			}
 		default:
 			if !experimentExists(o.run, opts) {
 				runErr = perf.Invalidf("unknown experiment %q (see -list)", o.run)
 				return
 			}
-			runErr = microdata.RunExperimentContext(ctx, os.Stdout, o.run, opts)
+			if o.resultOut != "" {
+				runErr = captureResults(ctx, rb, opts, []string{o.run}, o.resultOut)
+			} else {
+				runErr = microdata.RunExperimentContext(ctx, os.Stdout, o.run, opts)
+			}
 		}
 	}()
 

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"microdata"
+	"microdata/internal/telemetry/perf"
 )
 
 func TestParseKs(t *testing.T) {
@@ -140,5 +141,60 @@ func TestEngineStatsOutputByteCompatible(t *testing.T) {
 	phaseRows := strings.Count(strings.TrimRight(got[idx:], "\n"), "\n") - 2
 	if phaseRows != len(names) {
 		t.Errorf("phase table has %d rows, want one per algorithm (%d)", phaseRows, len(names))
+	}
+}
+
+// TestResultOutSealsPackAndLinksReport drives realMain with -run E1
+// -result-out -report and checks that (a) the sealed pack verifies, (b)
+// the v2 run report links the pack's manifest digest, and (c) the table
+// digest in the pack matches what a plain run prints.
+func TestResultOutSealsPackAndLinksReport(t *testing.T) {
+	dir := t.TempDir()
+	packPath := filepath.Join(dir, "pack.json")
+	reportPath := filepath.Join(dir, "report.json")
+	err := realMain(options{
+		run: "E1", n: 150, ks: "2,5", seed: 1,
+		resultOut: packPath, reportOut: reportPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := microdata.ReadResultPack(packPath)
+	if err != nil {
+		t.Fatalf("sealed pack fails verification: %v", err)
+	}
+	if p.Source != microdata.ResultPackSourceCensus || p.Env.N != 150 || p.Env.Seed != 1 {
+		t.Errorf("pack env = %+v", p.Env)
+	}
+	if len(p.Tables) != 1 || p.Tables[0].ID != "E1" {
+		t.Errorf("tables = %+v", p.Tables)
+	}
+	if len(p.Algorithms) == 0 || len(p.Attack) == 0 {
+		t.Errorf("capture sections missing: %d algorithms, %d attack", len(p.Algorithms), len(p.Attack))
+	}
+
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if doc["version"] != float64(2) {
+		t.Errorf("run-report version = %v, want 2", doc["version"])
+	}
+	link, ok := doc["result_pack"].(map[string]any)
+	if !ok {
+		t.Fatalf("report missing result_pack link:\n%s", raw)
+	}
+	if link["path"] != packPath || link["sha256"] != p.Manifest.Digest {
+		t.Errorf("result_pack link = %v, want path=%s sha256=%s", link, packPath, p.Manifest.Digest)
+	}
+
+	// -result-out outside an experiment run is an invalid combination.
+	err = realMain(options{list: true, run: "all", n: 150, ks: "2", seed: 1, resultOut: packPath})
+	if perf.ExitCode(err) != perf.ExitInvalid {
+		t.Errorf("-list -result-out: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitInvalid)
 	}
 }

@@ -23,10 +23,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"microdata/internal/telemetry/perf"
+	"microdata/internal/telemetry/resultpack"
 )
 
 func main() {
@@ -37,16 +39,17 @@ func main() {
 		skipVerify   = flag.Bool("skip-verify", false, "skip manifest verification (compare packs edited after sealing)")
 		verifyOnly   = flag.Bool("verify-only", false, "verify a single pack's manifest and exit")
 		verbose      = flag.Bool("v", false, "print every metric row, including ungated health series")
+		jsonOut      = flag.Bool("json", false, "emit the full drift comparison as canonical JSON on stdout instead of the table (exit codes unchanged)")
 	)
 	flag.Parse()
 
-	if err := realMain(flag.Args(), *relThreshold, *madFactor, *gate, *skipVerify, *verifyOnly, *verbose); err != nil {
+	if err := realMain(flag.Args(), *relThreshold, *madFactor, *gate, *skipVerify, *verifyOnly, *verbose, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(perf.ExitCode(err))
 	}
 }
 
-func realMain(args []string, relThreshold, madFactor float64, gate string, skipVerify, verifyOnly, verbose bool) error {
+func realMain(args []string, relThreshold, madFactor float64, gate string, skipVerify, verifyOnly, verbose, jsonOut bool) error {
 	if verifyOnly {
 		if len(args) != 1 {
 			return perf.Invalidf("-verify-only takes exactly one pack (got %d args)", len(args))
@@ -84,12 +87,68 @@ func realMain(args []string, relThreshold, madFactor float64, gate string, skipV
 	if err != nil {
 		return err
 	}
-	d.WriteTable(os.Stdout, verbose)
+	if jsonOut {
+		if err := writeDiffJSON(os.Stdout, d); err != nil {
+			return err
+		}
+	} else {
+		d.WriteTable(os.Stdout, verbose)
+	}
 	if !d.OK() {
 		return perf.Exit(perf.ExitDrift,
 			fmt.Errorf("regression drift: %d gated metrics drifted, %d baseline benchmarks missing", d.Drifted, len(d.Missing)))
 	}
 	return nil
+}
+
+// writeDiffJSON emits the comparison in the same canonical JSON form the
+// packs themselves use (sorted keys, no HTML escaping, trailing newline),
+// so the output is byte-stable for a given pair of packs and scripts can
+// diff or archive it directly. Ratio is NaN whenever the baseline median
+// is zero (and single-rep MADs can be NaN too), which encoding/json
+// rejects — the float fields marshal through resultpack.Float, pinning
+// the same "NaN"/"+Inf"/"-Inf" spellings the result packs use.
+func writeDiffJSON(w io.Writer, d *perf.Diff) error {
+	type jsonRow struct {
+		Benchmark string           `json:"benchmark"`
+		Metric    string           `json:"metric"`
+		Unit      string           `json:"unit,omitempty"`
+		Base      resultpack.Float `json:"base_median"`
+		BaseMAD   resultpack.Float `json:"base_mad"`
+		Cur       resultpack.Float `json:"cur_median"`
+		Ratio     resultpack.Float `json:"ratio"`
+		Verdict   perf.Verdict     `json:"verdict"`
+	}
+	rows := make([]jsonRow, len(d.Rows))
+	for i, r := range d.Rows {
+		rows[i] = jsonRow{
+			Benchmark: r.Benchmark, Metric: r.Metric, Unit: r.Unit,
+			Base: resultpack.Float(r.Base), BaseMAD: resultpack.Float(r.BaseMAD),
+			Cur: resultpack.Float(r.Cur), Ratio: resultpack.Float(r.Ratio),
+			Verdict: r.Verdict,
+		}
+	}
+	raw, err := json.Marshal(struct {
+		BaseSuite  string    `json:"base_suite"`
+		CurSuite   string    `json:"cur_suite"`
+		Rows       []jsonRow `json:"rows"`
+		Missing    []string  `json:"missing,omitempty"`
+		EnvChanges []string  `json:"env_changes,omitempty"`
+		Drifted    int       `json:"drifted"`
+		Improved   int       `json:"improved"`
+	}{d.BaseSuite, d.CurSuite, rows, d.Missing, d.EnvChanges, d.Drifted, d.Improved})
+	if err != nil {
+		return err
+	}
+	canon, err := perf.Canonicalize(raw)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(canon); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte("\n"))
+	return err
 }
 
 // readPack loads a pack, verifying the self-manifest unless told not to.

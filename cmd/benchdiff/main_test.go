@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -30,7 +32,7 @@ func writePack(t *testing.T, dir, name string, wall []float64) string {
 }
 
 func run(args ...string) error {
-	return realMain(args, 0.25, 4, "", false, false, false)
+	return realMain(args, 0.25, 4, "", false, false, false, false)
 }
 
 func TestExitCodeContract(t *testing.T) {
@@ -82,12 +84,12 @@ func TestTamperedPackFailsVerification(t *testing.T) {
 	if err := run(base, cur); perf.ExitCode(err) != perf.ExitVerification {
 		t.Errorf("tampered pack: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitVerification)
 	}
-	if err := realMain([]string{cur}, 0.25, 4, "", false, true, false); perf.ExitCode(err) != perf.ExitVerification {
+	if err := realMain([]string{cur}, 0.25, 4, "", false, true, false, false); perf.ExitCode(err) != perf.ExitVerification {
 		t.Errorf("-verify-only on tampered pack: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitVerification)
 	}
 	// -skip-verify waives the seal so the comparator still runs (and the
 	// one-digit edit is well inside the envelope).
-	if err := realMain([]string{base, cur}, 0.25, 4, "", true, false, false); perf.ExitCode(err) != perf.ExitOK {
+	if err := realMain([]string{base, cur}, 0.25, 4, "", true, false, false, false); perf.ExitCode(err) != perf.ExitOK {
 		t.Errorf("-skip-verify on tampered pack: exit %d (%v), want 0", perf.ExitCode(err), err)
 	}
 }
@@ -119,7 +121,68 @@ func TestCustomGate(t *testing.T) {
 		t.Errorf("default gate: exit %d (%v), want 0", perf.ExitCode(err), err)
 	}
 	// Gating on goroutines turns the 100x blowup into drift.
-	if err := realMain([]string{base, cur}, 0.25, 4, "goroutines", false, false, false); perf.ExitCode(err) != perf.ExitDrift {
+	if err := realMain([]string{base, cur}, 0.25, 4, "goroutines", false, false, false, false); perf.ExitCode(err) != perf.ExitDrift {
 		t.Errorf("-gate goroutines: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitDrift)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	base := writePack(t, dir, "base.json", []float64{100e6, 102e6, 98e6})
+	cur := writePack(t, dir, "cur.json", []float64{101e6, 99e6, 100e6})
+
+	b, err := readPack(base, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := readPack(cur, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := perf.Compare(b, c, perf.CompareOptions{RelThreshold: 0.25, MADFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out1, out2 bytes.Buffer
+	if err := writeDiffJSON(&out1, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeDiffJSON(&out2, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Error("canonical JSON output is not byte-stable")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out1.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out1.String())
+	}
+	if doc["drifted"] != float64(0) {
+		t.Errorf("drifted = %v, want 0", doc["drifted"])
+	}
+	rows, ok := doc["rows"].([]any)
+	if !ok || len(rows) == 0 {
+		t.Fatalf("rows missing from -json output: %s", out1.String())
+	}
+	row := rows[0].(map[string]any)
+	if row["benchmark"] != "synthetic/op" || row["metric"] != perf.MetricWallNS {
+		t.Errorf("row = %v", row)
+	}
+
+	// Real packs carry NaN ratios (zero baseline medians) and NaN MADs
+	// (single-rep packs), which encoding/json rejects as raw floats — the
+	// writer must emit the pinned string spellings instead of failing.
+	d.Rows[0].Ratio = math.NaN()
+	d.Rows[0].BaseMAD = math.Inf(1)
+	var nanOut bytes.Buffer
+	if err := writeDiffJSON(&nanOut, d); err != nil {
+		t.Fatalf("writeDiffJSON with NaN ratio: %v", err)
+	}
+	if err := json.Unmarshal(nanOut.Bytes(), &doc); err != nil {
+		t.Fatalf("NaN output is not JSON: %v\n%s", err, nanOut.String())
+	}
+	row = doc["rows"].([]any)[0].(map[string]any)
+	if row["ratio"] != "NaN" || row["base_mad"] != "+Inf" {
+		t.Errorf("non-finite spellings: ratio=%v base_mad=%v", row["ratio"], row["base_mad"])
 	}
 }

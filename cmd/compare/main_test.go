@@ -12,7 +12,7 @@ import (
 
 func TestRunPaperMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", "", "", true); err != nil {
+	if err := run(&buf, "", "", "", true, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -65,7 +65,7 @@ func TestRunFileMode(t *testing.T) {
 	bPath := write("b.csv", anonB.Table)
 
 	var buf bytes.Buffer
-	if err := run(&buf, origPath, aPath, bPath, false); err != nil {
+	if err := run(&buf, origPath, aPath, bPath, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -87,10 +87,10 @@ func mustAlg(t *testing.T, name string) microdata.Algorithm {
 
 func TestRunErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "", "", "", false); err == nil {
+	if err := run(&buf, "", "", "", false, ""); err == nil {
 		t.Error("missing paths should fail")
 	}
-	if err := run(&buf, "/nonexistent", "/nonexistent", "/nonexistent", false); err == nil {
+	if err := run(&buf, "/nonexistent", "/nonexistent", "/nonexistent", false, ""); err == nil {
 		t.Error("unreadable files should fail")
 	}
 }

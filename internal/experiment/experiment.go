@@ -7,13 +7,16 @@ package experiment
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
+	"hash"
 	"io"
 	"sort"
 	"time"
 
 	"microdata/internal/telemetry"
 	"microdata/internal/telemetry/progress"
+	"microdata/internal/telemetry/resultpack"
 )
 
 // Options tunes the scaled experiments; the zero value picks defaults
@@ -90,11 +93,18 @@ func RunAll(w io.Writer, opts Options) error {
 // its own telemetry span, and the batch reports progress (done count and
 // ETA over the experiment roster) when progress tracking is enabled.
 func RunAllContext(ctx context.Context, w io.Writer, opts Options) error {
+	return RunAllRecorded(ctx, w, opts, nil)
+}
+
+// RunAllRecorded is RunAllContext with a result-pack sink: alongside the
+// text report each experiment's full output is digested into rec (nil
+// disables recording), the provenance trail CaptureResults seals.
+func RunAllRecorded(ctx context.Context, w io.Writer, opts Options, rec *resultpack.TableRecorder) error {
 	exps := Registry(opts)
 	ctx, tr := progress.Start(ctx, "experiments", len(exps))
 	defer tr.Finish()
 	for _, e := range exps {
-		if err := runOne(ctx, w, e); err != nil {
+		if err := runOne(ctx, w, e, rec); err != nil {
 			return err
 		}
 		tr.Add(1)
@@ -109,14 +119,20 @@ func RunByID(w io.Writer, id string, opts Options) error {
 
 // RunByIDContext is RunByID honoring a context.
 func RunByIDContext(ctx context.Context, w io.Writer, id string, opts Options) error {
+	return RunByIDRecorded(ctx, w, id, opts, nil)
+}
+
+// RunByIDRecorded is RunByIDContext with a result-pack sink (see
+// RunAllRecorded).
+func RunByIDRecorded(ctx context.Context, w io.Writer, id string, opts Options, rec *resultpack.TableRecorder) error {
 	e, ok := Find(id, opts)
 	if !ok {
 		return fmt.Errorf("experiment: unknown id %q", id)
 	}
-	return runOne(ctx, w, e)
+	return runOne(ctx, w, e, rec)
 }
 
-func runOne(ctx context.Context, w io.Writer, e Experiment) error {
+func runOne(ctx context.Context, w io.Writer, e Experiment, rec *resultpack.TableRecorder) error {
 	ctx, sp := telemetry.Start(ctx, "experiment."+e.ID,
 		telemetry.String("title", e.Title), telemetry.String("artifact", e.Artifact))
 	defer sp.End()
@@ -124,6 +140,11 @@ func runOne(ctx context.Context, w io.Writer, e Experiment) error {
 	defer tr.Finish()
 	telemetry.L().Info("experiment: starting", "id", e.ID, "title", e.Title)
 	start := time.Now()
+	var dig *digestWriter
+	if rec != nil {
+		dig = &digestWriter{w: w, h: sha256.New()}
+		w = dig
+	}
 	fmt.Fprintf(w, "=== %s: %s (%s) ===\n", e.ID, e.Title, e.Artifact)
 	if err := e.Run(ctx, w); err != nil {
 		telemetry.L().Error("experiment: failed", "id", e.ID, "error", err)
@@ -131,5 +152,25 @@ func runOne(ctx context.Context, w io.Writer, e Experiment) error {
 	}
 	telemetry.L().Info("experiment: complete", "id", e.ID, "elapsed", time.Since(start))
 	fmt.Fprintln(w)
+	if dig != nil {
+		var sum [sha256.Size]byte
+		dig.h.Sum(sum[:0])
+		rec.Add(e.ID, sum, dig.n)
+	}
 	return nil
+}
+
+// digestWriter tees report text into a SHA-256 state while counting bytes;
+// the digest covers exactly what the runner writes for one experiment,
+// header and trailing blank line included.
+type digestWriter struct {
+	w io.Writer
+	h hash.Hash
+	n int
+}
+
+func (d *digestWriter) Write(p []byte) (int, error) {
+	d.h.Write(p)
+	d.n += len(p)
+	return d.w.Write(p)
 }

@@ -18,10 +18,11 @@ import (
 )
 
 // Schema identifies the document type; Version is bumped on any
-// backwards-incompatible shape change.
+// backwards-incompatible shape change. v2 adds the ResultPack link tying
+// a run report to the sealed result pack the same invocation produced.
 const (
 	Schema  = "microdata/run-report"
-	Version = 1
+	Version = 2
 )
 
 // Report is the unified run report. Scalar roll-ups (Engine, Attack,
@@ -57,6 +58,11 @@ type Report struct {
 	// report-assembly time — the same series the debug server's /metrics
 	// endpoint exposes. Additive in schema v1.
 	Runtime map[string]float64 `json:"runtime,omitempty"`
+	// ResultPack links the sealed result pack this invocation wrote
+	// (-result-out): its path and manifest digest, so the performance
+	// record and the correctness record of one run reference each other.
+	// New in schema v2.
+	ResultPack *ResultPackRef `json:"result_pack,omitempty"`
 	// Metrics is the full end-of-run snapshot of the process-wide registry.
 	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
@@ -82,12 +88,29 @@ type AttackSummary struct {
 	IndexBuildMS     float64 `json:"index_build_ms"`
 }
 
+// ResultPackRef identifies a sealed result pack by path and manifest
+// digest (the SHA-256 over its canonical manifest-less encoding).
+type ResultPackRef struct {
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256"`
+}
+
 // Builder accumulates a run's identity; Finish snapshots the telemetry
 // state into a Report.
 type Builder struct {
-	command string
-	mode    string
-	start   time.Time
+	command    string
+	mode       string
+	start      time.Time
+	resultPack *ResultPackRef
+}
+
+// SetResultPack links the result pack the run sealed (no-op with an empty
+// digest, so callers can pass through unconditionally).
+func (b *Builder) SetResultPack(path, sha256 string) {
+	if sha256 == "" {
+		return
+	}
+	b.resultPack = &ResultPackRef{Path: path, SHA256: sha256}
 }
 
 // Begin starts a report for one CLI invocation.
@@ -108,6 +131,7 @@ func (b *Builder) Finish(col *telemetry.Collector, root *progress.Tracker) *Repo
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Runtime:    telemetry.ReadRuntimeStats().Gauges(),
+		ResultPack: b.resultPack,
 	}
 	if col != nil && col.Metrics != nil {
 		snap := col.Metrics.Snapshot()

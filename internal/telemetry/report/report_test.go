@@ -129,3 +129,19 @@ func TestReportJSONRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestResultPackLink(t *testing.T) {
+	b := Begin("anonbench", "run")
+	b.SetResultPack("results/census-1k.json", "")
+	if r := b.Finish(nil, nil); r.ResultPack != nil {
+		t.Errorf("empty digest should not link: %+v", r.ResultPack)
+	}
+	b.SetResultPack("results/census-1k.json", "deadbeef")
+	r := b.Finish(nil, nil)
+	if r.Version != 2 {
+		t.Errorf("result-pack link requires schema v2, got %d", r.Version)
+	}
+	if r.ResultPack == nil || r.ResultPack.Path != "results/census-1k.json" || r.ResultPack.SHA256 != "deadbeef" {
+		t.Errorf("result-pack link = %+v", r.ResultPack)
+	}
+}
