@@ -73,6 +73,7 @@ import (
 	"microdata/internal/telemetry"
 	"microdata/internal/telemetry/debugserver"
 	"microdata/internal/telemetry/export"
+	"microdata/internal/telemetry/ledger"
 	"microdata/internal/telemetry/perf"
 	"microdata/internal/telemetry/progress"
 	"microdata/internal/telemetry/report"
@@ -782,6 +783,42 @@ var (
 // WriteResultPack seals p (if needed) and writes it as canonical JSON to
 // path ("-" for stdout).
 func WriteResultPack(p *ResultPack, path string) error { return p.WriteFile(path) }
+
+// Trajectory-ledger observability (internal/telemetry/ledger): an
+// append-only, content-addressed history of sealed perf and result packs
+// with per-benchmark time series, rolling changepoint detection and a
+// drift/correctness gate that attributes environment changes instead of
+// failing on them. Maintained by cmd/anonstat; see README "Trajectory
+// ledger" and DESIGN.md "Trajectory ledger".
+type (
+	// TrajectoryLedger is an opened ledger directory.
+	TrajectoryLedger = ledger.Ledger
+	// LedgerEntry is one appended pack's index record.
+	LedgerEntry = ledger.Entry
+	// LedgerEnvelope is the rolling noise band shared by trend and gate.
+	LedgerEnvelope = ledger.Envelope
+	// LedgerTrend is the extracted per-benchmark time-series document.
+	LedgerTrend = ledger.Trend
+	// LedgerTrendOptions tunes trend extraction.
+	LedgerTrendOptions = ledger.TrendOptions
+	// LedgerGateOptions tunes the rolling drift gate.
+	LedgerGateOptions = ledger.GateOptions
+	// LedgerGateResult is the gate outcome: findings fail, attributions don't.
+	LedgerGateResult = ledger.GateResult
+	// LedgerFinding is one gate failure with a path-level diagnostic.
+	LedgerFinding = ledger.Finding
+	// LedgerAttribution is an environment-change note.
+	LedgerAttribution = ledger.Attribution
+)
+
+// Trajectory-ledger helpers.
+var (
+	OpenLedger         = ledger.Open
+	ExtractLedgerTrend = ledger.ExtractTrend
+	GateLedger         = ledger.Gate
+	Sparkline          = ledger.Sparkline
+	DiffPerfEnv        = perf.DiffEnv
+)
 
 // Telemetry constructors and helpers.
 var (

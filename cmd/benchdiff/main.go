@@ -11,10 +11,17 @@
 //	   baseline benchmark is missing from the current pack
 //	6  invalid input (bad flags, unreadable or non-pack files)
 //
+// With -baseline-ledger the baseline comes from a trajectory ledger (see
+// cmd/anonstat) instead of a hand-committed file: the newest ledger perf
+// entry whose environment fingerprint matches the current pack is chosen
+// (falling back to the newest perf entry overall, with the differing
+// fingerprint fields surfaced).
+//
 // Usage:
 //
 //	benchdiff baseline.json current.json
 //	benchdiff -rel-threshold 0.5 -v bench/ci-baseline.json perf_ci.json
+//	benchdiff -baseline-ledger bench/ledger perf_ci.json
 //	benchdiff -verify-only pack.json
 //	benchdiff -skip-verify edited.json current.json   # drift-test unsealed edits
 package main
@@ -27,6 +34,7 @@ import (
 	"os"
 	"strings"
 
+	"microdata/internal/telemetry/ledger"
 	"microdata/internal/telemetry/perf"
 	"microdata/internal/telemetry/resultpack"
 )
@@ -40,16 +48,17 @@ func main() {
 		verifyOnly   = flag.Bool("verify-only", false, "verify a single pack's manifest and exit")
 		verbose      = flag.Bool("v", false, "print every metric row, including ungated health series")
 		jsonOut      = flag.Bool("json", false, "emit the full drift comparison as canonical JSON on stdout instead of the table (exit codes unchanged)")
+		baseLedger   = flag.String("baseline-ledger", "", "pick the baseline from this trajectory ledger (newest env-matching perf entry) instead of a baseline file argument")
 	)
 	flag.Parse()
 
-	if err := realMain(flag.Args(), *relThreshold, *madFactor, *gate, *skipVerify, *verifyOnly, *verbose, *jsonOut); err != nil {
+	if err := realMain(flag.Args(), *relThreshold, *madFactor, *gate, *skipVerify, *verifyOnly, *verbose, *jsonOut, *baseLedger); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(perf.ExitCode(err))
 	}
 }
 
-func realMain(args []string, relThreshold, madFactor float64, gate string, skipVerify, verifyOnly, verbose, jsonOut bool) error {
+func realMain(args []string, relThreshold, madFactor float64, gate string, skipVerify, verifyOnly, verbose, jsonOut bool, baseLedger string) error {
 	if verifyOnly {
 		if len(args) != 1 {
 			return perf.Invalidf("-verify-only takes exactly one pack (got %d args)", len(args))
@@ -60,16 +69,32 @@ func realMain(args []string, relThreshold, madFactor float64, gate string, skipV
 		fmt.Printf("%s: manifest ok\n", args[0])
 		return nil
 	}
-	if len(args) != 2 {
-		return perf.Invalidf("usage: benchdiff [flags] baseline.json current.json (got %d args)", len(args))
-	}
-	base, err := readPack(args[0], skipVerify)
-	if err != nil {
-		return err
-	}
-	cur, err := readPack(args[1], skipVerify)
-	if err != nil {
-		return err
+	var base, cur *perf.Pack
+	var err error
+	if baseLedger != "" {
+		if len(args) != 1 {
+			return perf.Invalidf("usage: benchdiff -baseline-ledger DIR [flags] current.json (got %d args)", len(args))
+		}
+		cur, err = readPack(args[0], skipVerify)
+		if err != nil {
+			return err
+		}
+		base, err = ledgerBaseline(baseLedger, cur)
+		if err != nil {
+			return err
+		}
+	} else {
+		if len(args) != 2 {
+			return perf.Invalidf("usage: benchdiff [flags] baseline.json current.json (got %d args)", len(args))
+		}
+		base, err = readPack(args[0], skipVerify)
+		if err != nil {
+			return err
+		}
+		cur, err = readPack(args[1], skipVerify)
+		if err != nil {
+			return err
+		}
 	}
 
 	opts := perf.CompareOptions{RelThreshold: relThreshold, MADFactor: madFactor}
@@ -129,13 +154,13 @@ func writeDiffJSON(w io.Writer, d *perf.Diff) error {
 		}
 	}
 	raw, err := json.Marshal(struct {
-		BaseSuite  string    `json:"base_suite"`
-		CurSuite   string    `json:"cur_suite"`
-		Rows       []jsonRow `json:"rows"`
-		Missing    []string  `json:"missing,omitempty"`
-		EnvChanges []string  `json:"env_changes,omitempty"`
-		Drifted    int       `json:"drifted"`
-		Improved   int       `json:"improved"`
+		BaseSuite  string           `json:"base_suite"`
+		CurSuite   string           `json:"cur_suite"`
+		Rows       []jsonRow        `json:"rows"`
+		Missing    []string         `json:"missing,omitempty"`
+		EnvChanges []perf.EnvChange `json:"env_changes,omitempty"`
+		Drifted    int              `json:"drifted"`
+		Improved   int              `json:"improved"`
 	}{d.BaseSuite, d.CurSuite, rows, d.Missing, d.EnvChanges, d.Drifted, d.Improved})
 	if err != nil {
 		return err
@@ -149,6 +174,41 @@ func writeDiffJSON(w io.Writer, d *perf.Diff) error {
 	}
 	_, err = w.Write([]byte("\n"))
 	return err
+}
+
+// ledgerBaseline picks the comparison baseline out of a trajectory ledger:
+// the newest perf entry whose environment fingerprint matches the current
+// pack's, so cross-machine or cross-toolchain entries never masquerade as
+// the reference. With no fingerprint match the newest perf entry is used
+// and the differing fields are printed (the comparator surfaces them in
+// its output too).
+func ledgerBaseline(dir string, cur *perf.Pack) (*perf.Pack, error) {
+	l, err := ledger.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries := l.Entries(ledger.KindPerf)
+	if len(entries) == 0 {
+		return nil, perf.Invalidf("ledger %s holds no perf entries", dir)
+	}
+	fp := cur.Env.Fingerprint()
+	pick := -1
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].EnvFingerprint == fp {
+			pick = i
+			break
+		}
+	}
+	match := "env match"
+	if pick < 0 {
+		pick = len(entries) - 1
+		match = fmt.Sprintf("no env match — fingerprint differs in: %s",
+			perf.EnvChangeFields(perf.DiffEnv(entries[pick].Env, cur.Env)))
+	}
+	e := entries[pick]
+	fmt.Fprintf(os.Stderr, "benchdiff: baseline %s from ledger %s (suite %s, %s)\n",
+		e.Digest[:12], dir, e.Suite, match)
+	return l.ReadPerf(e.Digest)
 }
 
 // readPack loads a pack, verifying the self-manifest unless told not to.

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"microdata/internal/telemetry/ledger"
 	"microdata/internal/telemetry/perf"
 )
 
@@ -32,7 +33,7 @@ func writePack(t *testing.T, dir, name string, wall []float64) string {
 }
 
 func run(args ...string) error {
-	return realMain(args, 0.25, 4, "", false, false, false, false)
+	return realMain(args, 0.25, 4, "", false, false, false, false, "")
 }
 
 func TestExitCodeContract(t *testing.T) {
@@ -84,12 +85,12 @@ func TestTamperedPackFailsVerification(t *testing.T) {
 	if err := run(base, cur); perf.ExitCode(err) != perf.ExitVerification {
 		t.Errorf("tampered pack: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitVerification)
 	}
-	if err := realMain([]string{cur}, 0.25, 4, "", false, true, false, false); perf.ExitCode(err) != perf.ExitVerification {
+	if err := realMain([]string{cur}, 0.25, 4, "", false, true, false, false, ""); perf.ExitCode(err) != perf.ExitVerification {
 		t.Errorf("-verify-only on tampered pack: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitVerification)
 	}
 	// -skip-verify waives the seal so the comparator still runs (and the
 	// one-digit edit is well inside the envelope).
-	if err := realMain([]string{base, cur}, 0.25, 4, "", true, false, false, false); perf.ExitCode(err) != perf.ExitOK {
+	if err := realMain([]string{base, cur}, 0.25, 4, "", true, false, false, false, ""); perf.ExitCode(err) != perf.ExitOK {
 		t.Errorf("-skip-verify on tampered pack: exit %d (%v), want 0", perf.ExitCode(err), err)
 	}
 }
@@ -121,8 +122,100 @@ func TestCustomGate(t *testing.T) {
 		t.Errorf("default gate: exit %d (%v), want 0", perf.ExitCode(err), err)
 	}
 	// Gating on goroutines turns the 100x blowup into drift.
-	if err := realMain([]string{base, cur}, 0.25, 4, "goroutines", false, false, false, false); perf.ExitCode(err) != perf.ExitDrift {
+	if err := realMain([]string{base, cur}, 0.25, 4, "goroutines", false, false, false, false, ""); perf.ExitCode(err) != perf.ExitDrift {
 		t.Errorf("-gate goroutines: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitDrift)
+	}
+}
+
+// writeEnvPack is writePack with a pinned environment, for ledger-baseline
+// fingerprint matching.
+func writeEnvPack(t *testing.T, dir, name string, env perf.Env, wall []float64) string {
+	t.Helper()
+	p := &perf.Pack{
+		Schema: perf.Schema, Version: perf.Version, Suite: "synthetic", Reps: len(wall), Env: env,
+		Benchmarks: []perf.Benchmark{{
+			Name: "synthetic/op",
+			Metrics: map[string]perf.Series{
+				perf.MetricWallNS: perf.NewSeries("ns", wall),
+			},
+		}},
+	}
+	path := filepath.Join(dir, name)
+	if err := p.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLedgerBaseline(t *testing.T) {
+	dir := t.TempDir()
+	ldir := filepath.Join(dir, "ledger")
+	env := perf.Env{GoVersion: "go1.24.0", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 1, NumCPU: 1, Seed: 1, N: 400, K: 5}
+	otherEnv := env
+	otherEnv.GoVersion = "go1.23.0"
+
+	l, err := ledger.Open(ldir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An env-matching baseline at 100ms and a newer foreign-env entry at
+	// 50ms: fingerprint matching must pick the 100ms one.
+	for _, pk := range []struct {
+		name    string
+		env     perf.Env
+		created int64
+		wall    float64
+	}{
+		{"match.json", env, 1000, 100e6},
+		{"foreign.json", otherEnv, 2000, 50e6},
+	} {
+		p := &perf.Pack{
+			Schema: perf.Schema, Version: perf.Version, Suite: "synthetic", Reps: 1,
+			CreatedUnixMS: pk.created, Env: pk.env,
+			Benchmarks: []perf.Benchmark{{
+				Name:    "synthetic/op",
+				Metrics: map[string]perf.Series{perf.MetricWallNS: perf.NewSeries("ns", []float64{pk.wall})},
+			}},
+		}
+		var buf bytes.Buffer
+		if err := p.WriteCanonical(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := l.Append(buf.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Current pack in the matching env at ~100ms: against the env-matching
+	// 100ms baseline this is no drift. (Against the newer foreign 50ms
+	// entry it would be a 2x regression, so a pass proves the fingerprint
+	// match picked the right baseline.)
+	cur := writeEnvPack(t, dir, "cur.json", env, []float64{101e6})
+	if err := realMain([]string{cur}, 0.25, 4, "", false, false, false, false, ldir); perf.ExitCode(err) != perf.ExitOK {
+		t.Errorf("env-matching ledger baseline: exit %d (%v), want 0", perf.ExitCode(err), err)
+	}
+
+	// A genuinely regressed current pack still gates.
+	worse := writeEnvPack(t, dir, "worse.json", env, []float64{200e6})
+	if err := realMain([]string{worse}, 0.25, 4, "", false, false, false, false, ldir); perf.ExitCode(err) != perf.ExitDrift {
+		t.Errorf("regressed against ledger baseline: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitDrift)
+	}
+
+	// No env match: falls back to the newest entry (50ms) rather than
+	// erroring, so the same current pack now reads as drift.
+	thirdEnv := env
+	thirdEnv.GoVersion = "go1.22.0"
+	other := writeEnvPack(t, dir, "other.json", thirdEnv, []float64{101e6})
+	if err := realMain([]string{other}, 0.25, 4, "", false, false, false, false, ldir); perf.ExitCode(err) != perf.ExitDrift {
+		t.Errorf("fallback baseline: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitDrift)
+	}
+
+	// Usage errors: two positional args with -baseline-ledger, empty ledger.
+	if err := realMain([]string{cur, cur}, 0.25, 4, "", false, false, false, false, ldir); perf.ExitCode(err) != perf.ExitInvalid {
+		t.Errorf("two args with -baseline-ledger: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitInvalid)
+	}
+	if err := realMain([]string{cur}, 0.25, 4, "", false, false, false, false, filepath.Join(dir, "empty")); perf.ExitCode(err) != perf.ExitInvalid {
+		t.Errorf("empty ledger: exit %d (%v), want %d", perf.ExitCode(err), err, perf.ExitInvalid)
 	}
 }
 

@@ -7,6 +7,8 @@
 //	/healthz            liveness ("ok")
 //	/progress           the live progress-tracker tree as JSON
 //	/runinfo            build info, command line, start time, runtime stats
+//	/buildinfo          build provenance: toolchain, module sum, commit,
+//	                    dirty flag, perf.Env fingerprint
 //
 // Start binds the listener immediately (addr ":0" picks a free port —
 // Addr reports the resolved address) and serves in a background goroutine
@@ -30,6 +32,7 @@ import (
 
 	"microdata/internal/telemetry"
 	"microdata/internal/telemetry/export"
+	"microdata/internal/telemetry/perf"
 	"microdata/internal/telemetry/progress"
 )
 
@@ -60,6 +63,7 @@ func Start(addr string) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/progress", s.handleProgress)
 	mux.HandleFunc("/runinfo", s.handleRunInfo)
+	mux.HandleFunc("/buildinfo", s.handleBuildInfo)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -103,6 +107,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	extra := telemetry.Snapshot{Gauges: telemetry.ReadRuntimeStats().Gauges()}
 	extra.Gauges["process.uptime.seconds"] = time.Since(s.start).Seconds()
+	// Prometheus-conventional start gauge (process_start_time_seconds after
+	// name sanitization): scrapers derive restarts and absolute uptime from
+	// it without parsing /runinfo.
+	extra.Gauges["process.start.time.seconds"] = float64(s.start.UnixNano()) / 1e9
 	if root := progress.Active(); root != nil {
 		flattenProgress(extra.Gauges, "progress", root.Snapshot())
 	}
@@ -153,6 +161,56 @@ type runInfo struct {
 	VCSRevision  string    `json:"vcs_revision,omitempty"`
 	Telemetry    bool      `json:"telemetry_enabled"`
 	Progress     bool      `json:"progress_enabled"`
+}
+
+// buildInfo is the /buildinfo document: the provenance half of /runinfo,
+// answering "which build is this process?" the way a ledger entry answers
+// it for an artifact — toolchain, module, commit, dirty flag and the
+// perf.Env fingerprint the trajectory ledger groups history by.
+type buildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	// ModuleVersion and ModuleSum identify a released build ("(devel)" and
+	// empty for source builds).
+	ModuleVersion string `json:"module_version,omitempty"`
+	ModuleSum     string `json:"module_sum,omitempty"`
+	// VCSRevision/VCSTime stamp the commit; VCSModified marks a build from
+	// a dirty tree, whose perf numbers no committed baseline can explain.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified"`
+	// EnvFingerprint is perf.CaptureEnv().Fingerprint() — the comparability
+	// key this process's packs would carry in a trajectory ledger.
+	EnvFingerprint string            `json:"env_fingerprint"`
+	Settings       map[string]string `json:"settings,omitempty"`
+}
+
+func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
+	info := buildInfo{
+		GoVersion:      runtime.Version(),
+		EnvFingerprint: perf.CaptureEnv().Fingerprint(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.Module = bi.Main.Path
+		info.ModuleVersion = bi.Main.Version
+		info.ModuleSum = bi.Main.Sum
+		info.Settings = map[string]string{}
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				info.VCSRevision = kv.Value
+			case "vcs.time":
+				info.VCSTime = kv.Value
+			case "vcs.modified":
+				info.VCSModified = kv.Value == "true"
+			}
+			info.Settings[kv.Key] = kv.Value
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(info)
 }
 
 func (s *Server) handleRunInfo(w http.ResponseWriter, _ *http.Request) {

@@ -3,15 +3,18 @@ package debugserver
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"microdata/internal/telemetry"
 	"microdata/internal/telemetry/export"
+	"microdata/internal/telemetry/perf"
 	"microdata/internal/telemetry/progress"
 )
 
@@ -129,6 +132,51 @@ func TestRunInfoEndpoint(t *testing.T) {
 	}
 	if !info.Telemetry || !info.Progress {
 		t.Errorf("enabled flags = telemetry:%v progress:%v, want both true", info.Telemetry, info.Progress)
+	}
+}
+
+func TestBuildInfoEndpoint(t *testing.T) {
+	s := startTestServer(t)
+	body, resp := get(t, s.URL()+"/buildinfo")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var info buildInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("/buildinfo is not JSON: %v\n%s", err, body)
+	}
+	if info.GoVersion != runtime.Version() {
+		t.Errorf("go_version = %q, want %q", info.GoVersion, runtime.Version())
+	}
+	// The fingerprint must match a fresh capture (both exclude the commit),
+	// tying the running process to the ledger's comparability key.
+	if want := perf.CaptureEnv().Fingerprint(); info.EnvFingerprint != want {
+		t.Errorf("env_fingerprint = %q, want %q", info.EnvFingerprint, want)
+	}
+	// Under `go test` there is a build info block but usually no VCS stamp;
+	// the document must still be well-formed with the module path set.
+	if info.Module == "" {
+		t.Errorf("module unset: %+v", info)
+	}
+}
+
+func TestProcessStartTimeGauge(t *testing.T) {
+	s := startTestServer(t)
+	body, _ := get(t, s.URL()+"/metrics")
+	var val float64
+	for _, line := range strings.Split(body, "\n") {
+		if v, ok := strings.CutPrefix(line, "process_start_time_seconds "); ok {
+			if _, err := fmt.Sscanf(v, "%g", &val); err != nil {
+				t.Fatalf("unparseable gauge line %q: %v", line, err)
+			}
+		}
+	}
+	if val == 0 {
+		t.Fatalf("/metrics lacks process_start_time_seconds:\n%s", body)
+	}
+	now := float64(time.Now().UnixNano()) / 1e9
+	if val > now || now-val > 300 {
+		t.Errorf("process_start_time_seconds = %v, now = %v — not a recent start", val, now)
 	}
 }
 

@@ -149,7 +149,10 @@ func Delta(prev, cur telemetry.Snapshot) telemetry.Snapshot {
 
 var (
 	commentRE = regexp.MustCompile(`^# (TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)|HELP .*)$`)
-	sampleRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9].*)( [0-9]+)?$`)
+	// The value alternative is space-free ([^ ]*) so trailing whitespace —
+	// which the exposition format does not allow — never hides inside a
+	// numeric value; only an optional integer timestamp may follow it.
+	sampleRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9][^ ]*)( [0-9]+)?$`)
 )
 
 // Validate checks that r holds well-formed exposition-format lines: every

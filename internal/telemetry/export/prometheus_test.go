@@ -102,6 +102,50 @@ func TestValidateRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestValidateEdgeLines pins the awkward corners of the exposition grammar:
+// escape sequences inside label values, the +Inf histogram bucket, signed
+// non-finite values, and whitespace discipline.
+func TestValidateEdgeLines(t *testing.T) {
+	good := []string{
+		`m{a="b\"c"} 1`,                     // escaped quote in a label value
+		`m{a="line\nbreak",b="back\\"} 2`,   // escaped newline and backslash
+		`h_bucket{le="+Inf"} 5`,             // the mandatory terminal bucket
+		`h_bucket{le="0.5",quantile="x"} 0`, // multiple labels
+		`m_inf +Inf`,                        // signed non-finite values
+		`m_neg_inf -Inf`,
+		`m_sci 1.25e+06`,
+		`m_neg -0`,
+	}
+	for _, line := range good {
+		if samples, err := Validate(strings.NewReader(line + "\n")); err != nil || samples != 1 {
+			t.Errorf("Validate(%q) = %d, %v; want 1, nil", line, samples, err)
+		}
+	}
+	bad := []string{
+		"m 1 ",                 // trailing whitespace after the value
+		"m NaN ",               // ... also after a non-finite value
+		"m\t1",                 // tab separator
+		`m{a="unterminated} 1`, // unterminated label value
+		`h_bucket{le=+Inf} 1`,  // unquoted le bound
+		"m Inf initely",        // garbage after a non-finite value
+	}
+	for _, line := range bad {
+		if _, err := Validate(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("Validate accepted malformed line %q", line)
+		}
+	}
+	// A full histogram block round-trips with the exact bytes
+	// WritePrometheus produces for a +Inf bucket.
+	block := "# TYPE h histogram\n" +
+		"h_bucket{le=\"1000\"} 1\n" +
+		"h_bucket{le=\"+Inf\"} 2\n" +
+		"h_sum 1500\n" +
+		"h_count 2\n"
+	if samples, err := Validate(strings.NewReader(block)); err != nil || samples != 4 {
+		t.Errorf("Validate(histogram block) = %d, %v; want 4, nil", samples, err)
+	}
+}
+
 func TestSanitizeName(t *testing.T) {
 	cases := map[string]string{
 		"engine.cache.hit":   "engine_cache_hit",

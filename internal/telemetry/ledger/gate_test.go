@@ -1,0 +1,242 @@
+package ledger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"microdata/internal/telemetry/perf"
+)
+
+func TestGateFailsOnDoubledWallTime(t *testing.T) {
+	// Stable history at 100ms, newest entry doubled: the gated wall_ns
+	// series must fail with a path-level diagnostic naming the benchmark
+	// and entry digest.
+	l := trendLedger(t, testEnv(), 100e6, 100e6, 100e6, 100e6, 200e6)
+	newest := l.Entries(KindPerf)[4]
+	res, err := Gate(l, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("doubled wall_ns passed the gate")
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("%d findings, want 1: %+v", len(res.Findings), res.Findings)
+	}
+	f := res.Findings[0]
+	if f.Kind != FindingPerfDrift {
+		t.Errorf("finding kind %q, want %q", f.Kind, FindingPerfDrift)
+	}
+	if f.Path != "synthetic/op."+perf.MetricWallNS {
+		t.Errorf("finding path %q", f.Path)
+	}
+	if f.Entry != newest.Digest {
+		t.Errorf("finding entry %s, want newest %s", f.Entry, newest.Digest)
+	}
+	if f.Baseline != 100e6 || f.Value != 200e6 || f.History != 4 {
+		t.Errorf("finding stats = baseline %g value %g history %d", f.Baseline, f.Value, f.History)
+	}
+	if !strings.Contains(f.Detail, "synthetic/op.wall_ns") || !strings.Contains(f.Detail, newest.Digest[:12]) {
+		t.Errorf("diagnostic does not name benchmark and digest: %s", f.Detail)
+	}
+	if res.Checked == 0 {
+		t.Error("gate checked no series")
+	}
+}
+
+func TestGatePassesStableHistory(t *testing.T) {
+	l := trendLedger(t, testEnv(), 100e6, 102e6, 98e6, 101e6)
+	res, err := Gate(l, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("stable history failed the gate: %+v", res.Findings)
+	}
+}
+
+func TestGateIgnoresImprovement(t *testing.T) {
+	l := trendLedger(t, testEnv(), 100e6, 100e6, 100e6, 50e6)
+	res, err := Gate(l, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("improvement failed the gate: %+v", res.Findings)
+	}
+}
+
+func TestGateAttributesEnvChange(t *testing.T) {
+	// Same doubled wall time, but under a different go version: no finding
+	// (exit 0 for the CLI), an attribution naming the changed field instead.
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range []float64{100e6, 100e6, 100e6} {
+		mustAppend(t, l, perfPackBytes(t, int64((i+1)*1000), testEnv(), w))
+	}
+	envB := testEnv()
+	envB.GoVersion = "go1.25.0"
+	mustAppend(t, l, perfPackBytes(t, 4000, envB, 200e6))
+	newest := l.Entries(KindPerf)[3]
+
+	res, err := Gate(l, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("env-only change failed the gate: %+v", res.Findings)
+	}
+	if len(res.Attributions) != 1 {
+		t.Fatalf("%d attributions, want 1", len(res.Attributions))
+	}
+	a := res.Attributions[0]
+	if a.Kind != KindPerf || a.Entry != newest.Digest {
+		t.Errorf("attribution = %+v", a)
+	}
+	if perf.EnvChangeFields(a.Changes) != "go_version" {
+		t.Errorf("attributed fields %q, want go_version", perf.EnvChangeFields(a.Changes))
+	}
+	if len(res.Notes) == 0 || !strings.Contains(res.Notes[0], "attributed to environment") {
+		t.Errorf("no attribution note: %v", res.Notes)
+	}
+}
+
+func TestGateNeedsHistory(t *testing.T) {
+	l := trendLedger(t, testEnv(), 100e6)
+	res, err := Gate(l, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || len(res.Notes) == 0 {
+		t.Errorf("single-entry ledger: ok=%v notes=%v", res.OK(), res.Notes)
+	}
+}
+
+func TestGateSustainRequiresPersistence(t *testing.T) {
+	// With Sustain=2 a single doubled entry is not enough...
+	l := trendLedger(t, testEnv(), 100e6, 100e6, 100e6, 100e6, 200e6)
+	res, err := Gate(l, GateOptions{Sustain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("single excursion failed a sustain=2 gate: %+v", res.Findings)
+	}
+	// ...but two consecutive doubled entries are.
+	mustAppend(t, l, perfPackBytes(t, 6000, testEnv(), 200e6))
+	res, err = Gate(l, GateOptions{Sustain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Error("two sustained excursions passed a sustain=2 gate")
+	}
+}
+
+func TestGateCorrectnessVerdict(t *testing.T) {
+	// A result-pack claim drifting under an unchanged env fingerprint is a
+	// verdict, not a trend.
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := mustAppend(t, l, resultPackBytes(t, 1000, testEnv(), 0.5))
+	e2 := mustAppend(t, l, resultPackBytes(t, 2000, testEnv(), 0.625))
+	res, err := Gate(l, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("diverging result claims passed the gate")
+	}
+	f := res.Findings[0]
+	if f.Kind != FindingCorrectness {
+		t.Errorf("finding kind %q, want %q", f.Kind, FindingCorrectness)
+	}
+	if f.Path != "algorithms[k=5/datafly].measures.lm" {
+		t.Errorf("finding path %q", f.Path)
+	}
+	if f.Entry != e2.Digest || f.Against != e1.Digest {
+		t.Errorf("finding entry/against = %s/%s", f.Entry[:12], f.Against[:12])
+	}
+	for _, want := range []string{"0.5 -> 0.625", "correctness verdict, not a trend", e1.EnvFingerprint} {
+		if !strings.Contains(f.Detail, want) {
+			t.Errorf("diagnostic missing %q: %s", want, f.Detail)
+		}
+	}
+}
+
+func TestGateResultEnvSplitIsAttributed(t *testing.T) {
+	// The same claim difference across different dataset draws is never a
+	// verdict — only an attribution.
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, resultPackBytes(t, 1000, testEnv(), 0.5))
+	envB := testEnv()
+	envB.DatasetHash = "fff999"
+	mustAppend(t, l, resultPackBytes(t, 2000, envB, 0.625))
+	res, err := Gate(l, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("cross-environment result change failed the gate: %+v", res.Findings)
+	}
+	if len(res.Attributions) != 1 || res.Attributions[0].Kind != KindResult {
+		t.Fatalf("attributions = %+v", res.Attributions)
+	}
+	if got := perf.EnvChangeFields(res.Attributions[0].Changes); got != "dataset_hash" {
+		t.Errorf("attributed fields %q, want dataset_hash", got)
+	}
+}
+
+func TestGateIdenticalResultsPass(t *testing.T) {
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same claims, different commit (which the fingerprint ignores).
+	envB := testEnv()
+	envB.GitRevision = "feedface"
+	mustAppend(t, l, resultPackBytes(t, 1000, testEnv(), 0.5))
+	mustAppend(t, l, resultPackBytes(t, 2000, envB, 0.5))
+	res, err := Gate(l, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Errorf("identical claims failed the gate: %+v", res.Findings)
+	}
+}
+
+func TestGateOutputForms(t *testing.T) {
+	l := trendLedger(t, testEnv(), 100e6, 100e6, 100e6, 200e6)
+	res, err := Gate(l, GateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.WriteText(&buf)
+	if !strings.Contains(buf.String(), "verdict:") {
+		t.Errorf("text output lacks verdict line:\n%s", buf.String())
+	}
+	canon, err := res.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon2, err := res.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canon, canon2) {
+		t.Error("gate canonical JSON not byte-stable")
+	}
+	if !strings.Contains(string(canon), `"schema":"microdata/ledger-gate"`) {
+		t.Errorf("gate JSON missing schema: %s", canon)
+	}
+}

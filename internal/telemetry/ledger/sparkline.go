@@ -1,0 +1,42 @@
+package ledger
+
+import "math"
+
+// sparkRunes are the eight block-element levels of a unicode sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-height unicode sparkline, scaled to
+// the series' own min..max. A constant series renders at mid-height, NaN
+// values render as '·'.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	out := make([]rune, len(values))
+	for i, v := range values {
+		switch {
+		case math.IsNaN(v):
+			out[i] = '·'
+		case hi == lo:
+			out[i] = sparkRunes[3]
+		default:
+			level := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			if level < 0 {
+				level = 0
+			}
+			if level >= len(sparkRunes) {
+				level = len(sparkRunes) - 1
+			}
+			out[i] = sparkRunes[level]
+		}
+	}
+	return string(out)
+}

@@ -87,10 +87,11 @@ type Diff struct {
 	// Missing lists benchmarks present in the baseline but absent from the
 	// current pack — a silently dropped benchmark fails the gate.
 	Missing []string `json:"missing,omitempty"`
-	// EnvChanges lists fingerprint fields that differ between the packs.
-	EnvChanges []string `json:"env_changes,omitempty"`
-	Drifted    int      `json:"drifted"`
-	Improved   int      `json:"improved"`
+	// EnvChanges lists the fingerprint fields that differ between the
+	// packs, one structured entry per field.
+	EnvChanges []EnvChange `json:"env_changes,omitempty"`
+	Drifted    int         `json:"drifted"`
+	Improved   int         `json:"improved"`
 }
 
 // OK reports whether the gate passes: no drifted/invalid gated metrics and
@@ -105,7 +106,7 @@ func Compare(base, cur *Pack, opts CompareOptions) (*Diff, error) {
 		return nil, Invalidf("perf: compare: nil pack")
 	}
 	opts = opts.withDefaults()
-	d := &Diff{BaseSuite: base.Suite, CurSuite: cur.Suite, EnvChanges: envChanges(base.Env, cur.Env)}
+	d := &Diff{BaseSuite: base.Suite, CurSuite: cur.Suite, EnvChanges: DiffEnv(base.Env, cur.Env)}
 	gated := map[string]bool{}
 	for _, m := range opts.Gated {
 		gated[m] = true
@@ -183,22 +184,48 @@ func sortedMetricNames(m map[string]Series) []string {
 	return names
 }
 
-// envChanges lists human-readable fingerprint differences.
-func envChanges(a, b Env) []string {
-	var out []string
+// EnvChange is one differing environment-fingerprint field.
+type EnvChange struct {
+	Field string `json:"field"`
+	Base  string `json:"base"`
+	Cur   string `json:"cur"`
+}
+
+func (c EnvChange) String() string {
+	return fmt.Sprintf("%s: %s -> %s", c.Field, orDash(c.Base), orDash(c.Cur))
+}
+
+// DiffEnv lists the fingerprint fields that differ between two
+// environments, so callers can attribute apparent drift to a go-version,
+// CPU or dataset change instead of a code change. GitRevision differences
+// are included here (they matter for attribution display) even though
+// Env.Fingerprint deliberately ignores them.
+func DiffEnv(a, b Env) []EnvChange {
+	var out []EnvChange
 	diff := func(field, av, bv string) {
 		if av != bv {
-			out = append(out, fmt.Sprintf("%s: %s -> %s", field, orDash(av), orDash(bv)))
+			out = append(out, EnvChange{Field: field, Base: av, Cur: bv})
 		}
 	}
 	diff("go_version", a.GoVersion, b.GoVersion)
 	diff("goos/goarch", a.GOOS+"/"+a.GOARCH, b.GOOS+"/"+b.GOARCH)
 	diff("gomaxprocs", fmt.Sprint(a.GOMAXPROCS), fmt.Sprint(b.GOMAXPROCS))
+	diff("num_cpu", fmt.Sprint(a.NumCPU), fmt.Sprint(b.NumCPU))
 	diff("cpu_model", a.CPUModel, b.CPUModel)
 	diff("git_revision", a.GitRevision, b.GitRevision)
 	diff("dataset_hash", a.DatasetHash, b.DatasetHash)
 	diff("n/k/seed", fmt.Sprintf("%d/%d/%d", a.N, a.K, a.Seed), fmt.Sprintf("%d/%d/%d", b.N, b.K, b.Seed))
 	return out
+}
+
+// EnvChangeFields returns the comma-joined field names of a change list —
+// the one-line summary the text renderers lead with.
+func EnvChangeFields(changes []EnvChange) string {
+	fields := make([]string, len(changes))
+	for i, c := range changes {
+		fields[i] = c.Field
+	}
+	return strings.Join(fields, ", ")
 }
 
 func orDash(s string) string {
@@ -211,8 +238,12 @@ func orDash(s string) string {
 // WriteTable renders the per-metric drift table. With verbose false only
 // gated and non-ok rows print; with verbose true every row prints.
 func (d *Diff) WriteTable(w io.Writer, verbose bool) {
-	for _, ch := range d.EnvChanges {
-		fmt.Fprintf(w, "env: %s\n", ch)
+	if len(d.EnvChanges) > 0 {
+		fmt.Fprintf(w, "env fingerprint differs in %d field(s): %s\n",
+			len(d.EnvChanges), EnvChangeFields(d.EnvChanges))
+		for _, ch := range d.EnvChanges {
+			fmt.Fprintf(w, "  env %s\n", ch)
+		}
 	}
 	fmt.Fprintf(w, "%-48s %-12s %14s %14s %8s  %s\n",
 		"benchmark", "metric", "base", "current", "ratio", "verdict")

@@ -116,6 +116,24 @@ type Env struct {
 	K           int    `json:"k"`
 }
 
+// Fingerprint returns a short stable identity for the comparability half
+// of the fingerprint: every field except GitRevision (runs from different
+// commits on the same machine and dataset draw are exactly the comparisons
+// a trend ledger exists to make). It is the first 12 hex digits of the
+// SHA-256 of the canonical JSON encoding of the redacted struct, so two
+// environments share a fingerprint iff every comparability field matches.
+func (e Env) Fingerprint() string {
+	id := e
+	id.GitRevision = ""
+	canon, err := CanonicalMarshal(id)
+	if err != nil {
+		// Env is a struct of scalars; canonical marshaling cannot fail.
+		panic(fmt.Sprintf("perf: env fingerprint: %v", err))
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
 // Benchmark is one named benchmark's recorded metric series.
 type Benchmark struct {
 	Name string `json:"name"`
